@@ -1,0 +1,207 @@
+// Command smartctl builds a SmartStore over a synthesized trace and runs
+// ad-hoc queries against it — a small operational front-end to the
+// library for exploration and demos.
+//
+// Usage:
+//
+//	smartctl -trace MSN -files 5000 stats
+//	smartctl -trace MSN -files 5000 point /MSN/u010/d03/f0000123.dat
+//	smartctl -trace HP range mtime=3600:86400 read_bytes=3e7:5e7
+//	smartctl -trace EECS topk 8 mtime=41000 read_bytes=2.68e7 write_bytes=6.57e7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	smartstore "repro"
+)
+
+var attrByName = map[string]smartstore.Attr{
+	"size":        smartstore.AttrSize,
+	"ctime":       smartstore.AttrCTime,
+	"mtime":       smartstore.AttrMTime,
+	"atime":       smartstore.AttrATime,
+	"read_bytes":  smartstore.AttrReadBytes,
+	"write_bytes": smartstore.AttrWriteBytes,
+	"access_freq": smartstore.AttrAccessFreq,
+}
+
+func main() {
+	traceName := flag.String("trace", "MSN", "trace to synthesize: HP, MSN or EECS")
+	files := flag.Int("files", 5000, "sample population")
+	units := flag.Int("units", 60, "storage units")
+	seed := flag.Uint64("seed", 42, "random seed")
+	versioning := flag.Bool("versioning", false, "enable consistency versioning")
+	online := flag.Bool("online", false, "use the on-line multicast query path")
+	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
+	savePath := flag.String("save", "", "write the built store to a snapshot file before querying")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	mode := smartstore.OffLine
+	if *online {
+		mode = smartstore.OnLine
+	}
+	var store *smartstore.Store
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = smartstore.Load(f, smartstore.Config{
+			Seed: *seed, Versioning: *versioning, Mode: mode,
+		})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		set, err := smartstore.GenerateTrace(*traceName, *files, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = smartstore.Build(set.Files, smartstore.Config{
+			Units: *units, Seed: *seed, Versioning: *versioning, Mode: mode,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "stats":
+		st := store.Stats()
+		fmt.Printf("trace        %s (%d sampled files)\n", *traceName, st.Files)
+		fmt.Printf("storage units %d\n", st.Units)
+		fmt.Printf("index units   %d\n", st.IndexUnits)
+		fmt.Printf("tree height   %d\n", st.TreeHeight)
+		fmt.Printf("trees         %d\n", st.Trees)
+		fmt.Printf("index bytes   %d total, %d per node\n", st.IndexBytesTotal, st.IndexBytesPerNode)
+	case "point":
+		if len(args) != 2 {
+			usage()
+		}
+		ids, rep := store.PointQuery(args[1])
+		fmt.Printf("%d match(es) in %.6fs over %d message(s)\n", len(ids), rep.Latency, rep.Messages)
+		for _, id := range ids {
+			fmt.Printf("  id %d\n", id)
+		}
+	case "range":
+		attrs, lo, hi := parseRangeArgs(args[1:])
+		ids, rep := store.RangeQuery(attrs, lo, hi)
+		fmt.Printf("%d match(es) in %.6fs over %d message(s), %d hop(s)\n",
+			len(ids), rep.Latency, rep.Messages, rep.Hops)
+	case "topk":
+		if len(args) < 3 {
+			usage()
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("invalid k %q", args[1]))
+		}
+		attrs, point := parsePointArgs(args[2:])
+		ids, rep := store.TopKQuery(attrs, point, k)
+		fmt.Printf("top-%d in %.6fs over %d message(s), %d hop(s)\n", k, rep.Latency, rep.Messages, rep.Hops)
+		for _, id := range ids {
+			fmt.Printf("  id %d\n", id)
+		}
+	default:
+		usage()
+	}
+}
+
+// parseRangeArgs parses attr=lo:hi clauses.
+func parseRangeArgs(args []string) ([]smartstore.Attr, []float64, []float64) {
+	if len(args) == 0 {
+		usage()
+	}
+	var attrs []smartstore.Attr
+	var lo, hi []float64
+	for _, arg := range args {
+		name, spec, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad range clause %q (want attr=lo:hi)", arg))
+		}
+		a, ok := attrByName[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown attribute %q", name))
+		}
+		los, his, ok := strings.Cut(spec, ":")
+		if !ok {
+			fatal(fmt.Errorf("bad range clause %q (want attr=lo:hi)", arg))
+		}
+		l, err1 := strconv.ParseFloat(los, 64)
+		h, err2 := strconv.ParseFloat(his, 64)
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad bounds in %q", arg))
+		}
+		attrs = append(attrs, a)
+		lo = append(lo, l)
+		hi = append(hi, h)
+	}
+	return attrs, lo, hi
+}
+
+// parsePointArgs parses attr=value clauses.
+func parsePointArgs(args []string) ([]smartstore.Attr, []float64) {
+	if len(args) == 0 {
+		usage()
+	}
+	var attrs []smartstore.Attr
+	var vals []float64
+	for _, arg := range args {
+		name, spec, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad point clause %q (want attr=value)", arg))
+		}
+		a, ok := attrByName[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown attribute %q", name))
+		}
+		v, err := strconv.ParseFloat(spec, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad value in %q", arg))
+		}
+		attrs = append(attrs, a)
+		vals = append(vals, v)
+	}
+	return attrs, vals
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  smartctl [flags] stats
+  smartctl [flags] point <path>
+  smartctl [flags] range attr=lo:hi [attr=lo:hi ...]
+  smartctl [flags] topk <k> attr=value [attr=value ...]
+
+attributes: size ctime mtime atime read_bytes write_bytes access_freq
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartctl:", err)
+	os.Exit(1)
+}

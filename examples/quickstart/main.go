@@ -1,0 +1,56 @@
+// Quickstart: build a SmartStore over a synthesized MSN workload and run
+// each of the three query interfaces — point, range and top-k (paper
+// §1.2) — printing results and per-query cost accounting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smartstore "repro"
+)
+
+func main() {
+	// Synthesize a 10k-file sample of the MSN production-server trace.
+	set, err := smartstore.GenerateTrace("MSN", 10000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy over 60 storage units — the paper's prototype scale.
+	store, err := smartstore.Build(set.Files, smartstore.Config{
+		Units: 60,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("deployed: %d files, %d storage units, %d index units, height %d\n\n",
+		st.Files, st.Units, st.IndexUnits, st.TreeHeight)
+
+	// Point query (§3.3.3): exact filename lookup through the Bloom-
+	// filter hierarchy.
+	target := set.Files[1234]
+	ids, rep := store.PointQuery(target.Path)
+	fmt.Printf("point  %q\n  → %d match(es), %.4fs, %d messages\n\n",
+		target.Path, len(ids), rep.Latency, rep.Messages)
+
+	// Range query (§3.3.1): the paper's example — files revised within a
+	// time window with bounded read/write volumes. Bounds are derived
+	// from the workload so the window is populated.
+	mlo, mhi := set.Norm.Bounds(smartstore.AttrMTime)
+	rlo, rhi := set.Norm.Bounds(smartstore.AttrReadBytes)
+	attrs := []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes}
+	lo := []float64{mlo + (mhi-mlo)*0.4, rlo}
+	hi := []float64{mlo + (mhi-mlo)*0.6, rlo + (rhi-rlo)*0.1}
+	ids, rep = store.RangeQuery(attrs, lo, hi)
+	fmt.Printf("range  mtime∈[%.0f,%.0f] read∈[%.0f,%.0f]\n  → %d match(es), %.4fs, %d messages, %d hop(s)\n\n",
+		lo[0], hi[0], lo[1], hi[1], len(ids), rep.Latency, rep.Messages, rep.Hops)
+
+	// Top-k query (§3.3.2): "show 10 files closest to this description".
+	point := []float64{target.Attrs[smartstore.AttrMTime], target.Attrs[smartstore.AttrReadBytes]}
+	ids, rep = store.TopKQuery(attrs, point, 10)
+	fmt.Printf("top-10 around (mtime=%.0f, read=%.0f)\n  → %v\n  %.4fs, %d messages, %d hop(s)\n",
+		point[0], point[1], ids, rep.Latency, rep.Messages, rep.Hops)
+}

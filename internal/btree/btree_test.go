@@ -1,0 +1,320 @@
+package btree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault()
+	if tr.Len() != 0 || tr.DistinctKeys() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree stats wrong: %d/%d/%d", tr.Len(), tr.DistinctKeys(), tr.Height())
+	}
+	if ids := tr.Get(5); ids != nil {
+		t.Fatalf("Get on empty = %v, want nil", ids)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty should report !ok")
+	}
+}
+
+func TestNewPanicsOnSmallOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(2) did not panic")
+		}
+	}()
+	New(2)
+}
+
+func TestInsertGetSingle(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(3.5, 42)
+	got := tr.Get(3.5)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Get = %v, want [42]", got)
+	}
+	if tr.Len() != 1 || tr.DistinctKeys() != 1 {
+		t.Fatalf("Len/DistinctKeys = %d/%d, want 1/1", tr.Len(), tr.DistinctKeys())
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(7, 1)
+	tr.Insert(7, 2)
+	tr.Insert(7, 3)
+	got := tr.Get(7)
+	if len(got) != 3 {
+		t.Fatalf("Get(7) = %v, want 3 ids", got)
+	}
+	if tr.DistinctKeys() != 1 || tr.Len() != 3 {
+		t.Fatalf("DistinctKeys/Len = %d/%d, want 1/3", tr.DistinctKeys(), tr.Len())
+	}
+}
+
+func TestSplitGrowth(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d after 1000 keys with order 4, expected deep tree", tr.Height())
+	}
+	for i := 0; i < 1000; i++ {
+		got := tr.Get(float64(i))
+		if len(got) != 1 || got[0] != uint64(i) {
+			t.Fatalf("Get(%d) = %v after splits", i, got)
+		}
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	ids, visited := tr.Range(nil, 10, 20)
+	if len(ids) != 11 {
+		t.Fatalf("Range[10,20] returned %d ids, want 11", len(ids))
+	}
+	if visited != 11 {
+		t.Fatalf("visited = %d, want 11", visited)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for i, id := range ids {
+		if id != uint64(10+i) {
+			t.Fatalf("Range ids = %v", ids)
+		}
+	}
+}
+
+func TestRangeEmptyAndOutOfBounds(t *testing.T) {
+	tr := NewDefault()
+	for i := 0; i < 10; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if ids, _ := tr.Range(nil, 100, 200); len(ids) != 0 {
+		t.Fatalf("out-of-bounds range = %v, want empty", ids)
+	}
+	if ids, _ := tr.Range(nil, 5, 5); len(ids) != 1 || ids[0] != 5 {
+		t.Fatalf("point range = %v, want [5]", ids)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if !tr.Delete(25, 25) {
+		t.Fatal("Delete(25,25) = false, want true")
+	}
+	if tr.Get(25) != nil {
+		t.Fatal("key 25 still present after delete")
+	}
+	if tr.Delete(25, 25) {
+		t.Fatal("second Delete(25,25) = true, want false")
+	}
+	if tr.Len() != 49 || tr.DistinctKeys() != 49 {
+		t.Fatalf("Len/DistinctKeys = %d/%d, want 49/49", tr.Len(), tr.DistinctKeys())
+	}
+}
+
+func TestDeleteOneOfDuplicates(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(7, 1)
+	tr.Insert(7, 2)
+	if !tr.Delete(7, 1) {
+		t.Fatal("Delete of existing duplicate failed")
+	}
+	got := tr.Get(7)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Get(7) = %v, want [2]", got)
+	}
+	if tr.DistinctKeys() != 1 {
+		t.Fatal("key should survive while one id remains")
+	}
+}
+
+func TestDeleteMissingID(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(7, 1)
+	if tr.Delete(7, 99) {
+		t.Fatal("Delete of missing id reported true")
+	}
+	if tr.Delete(8, 1) {
+		t.Fatal("Delete of missing key reported true")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New(4)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 500; i++ {
+		tr.Insert(rng.Float64()*1000, uint64(i))
+	}
+	var keys []float64
+	tr.Scan(func(k float64, _ uint64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 500 {
+		t.Fatalf("Scan visited %d pairs, want 500", len(keys))
+	}
+	if !sort.Float64sAreSorted(keys) {
+		t.Fatal("Scan not in key order")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := NewDefault()
+	for i := 0; i < 10; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	count := 0
+	tr.Scan(func(float64, uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("Scan early stop visited %d, want 3", count)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(4)
+	for _, k := range []float64{5, 1, 9, 3, 7} {
+		tr.Insert(k, uint64(k))
+	}
+	if mn, ok := tr.Min(); !ok || mn != 1 {
+		t.Fatalf("Min = %v/%v, want 1/true", mn, ok)
+	}
+	if mx, ok := tr.Max(); !ok || mx != 9 {
+		t.Fatalf("Max = %v/%v, want 9/true", mx, ok)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	tr := NewDefault()
+	empty := tr.SizeBytes()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if tr.SizeBytes() <= empty {
+		t.Fatal("SizeBytes did not grow with inserts")
+	}
+}
+
+// Property: the tree agrees with a reference map across random
+// insert/delete sequences.
+func TestPropertyAgainstReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+99))
+		tr := New(4)
+		ref := map[float64]map[uint64]bool{}
+		for op := 0; op < 400; op++ {
+			key := float64(rng.Uint64() % 50)
+			id := rng.Uint64() % 20
+			if rng.Float64() < 0.7 {
+				tr.Insert(key, id)
+				if ref[key] == nil {
+					ref[key] = map[uint64]bool{}
+				}
+				ref[key][id] = true // model treats duplicates as a set; see below
+			} else {
+				got := tr.Delete(key, id)
+				want := ref[key][id]
+				// The tree allows true duplicates of (key,id); the model
+				// doesn't, so only verify deletions the model can decide.
+				if want && !got {
+					return false
+				}
+				if got {
+					delete(ref[key], id)
+					if len(ref[key]) == 0 {
+						delete(ref, key)
+					}
+				}
+			}
+		}
+		for key, ids := range ref {
+			got := tr.Get(key)
+			set := map[uint64]bool{}
+			for _, id := range got {
+				set[id] = true
+			}
+			for id := range ids {
+				if !set[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Range(lo,hi) returns exactly the pairs a full scan finds in
+// that window.
+func TestPropertyRangeMatchesScan(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^7))
+		tr := New(5)
+		for i := 0; i < 300; i++ {
+			tr.Insert(float64(rng.Uint64()%100), uint64(i))
+		}
+		lo := float64(rng.Uint64() % 100)
+		hi := lo + float64(rng.Uint64()%40)
+		got, _ := tr.Range(nil, lo, hi)
+		var want []uint64
+		tr.Scan(func(k float64, id uint64) bool {
+			if k >= lo && k <= hi {
+				want = append(want, id)
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := NewDefault()
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, uint64(i))
+	}
+}
+
+func BenchmarkRange1000(b *testing.B) {
+	tr := NewDefault()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	buf := make([]uint64, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = tr.Range(buf[:0], 5000, 6000)
+	}
+}

@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func deploy(t testing.TB, nFiles, nUnits int, seed uint64, cfg Config) (*Cluster, *trace.Set) {
+	t.Helper()
+	set := trace.MSN().Generate(nFiles, seed)
+	attrs := trace.DefaultQueryAttrs()
+	units := semtree.PlaceSemantic(set.Files, nUnits, set.Norm, attrs)
+	tree := semtree.Build(units, set.Norm, semtree.Config{Attrs: attrs})
+	return New(tree, cfg), set
+}
+
+func TestDeploymentMapping(t *testing.T) {
+	c, _ := deploy(t, 600, 12, 1, Config{Seed: 1})
+	// Every leaf has its own server; client is distinct.
+	seen := map[int]bool{}
+	for _, l := range c.Tree.Leaves() {
+		n := c.NodeOf(l)
+		if n == nil {
+			t.Fatal("leaf without server")
+		}
+		if n.ID() == 0 {
+			t.Fatal("leaf mapped to client node")
+		}
+		if seen[n.ID()] {
+			t.Fatalf("server %d hosts two units", n.ID())
+		}
+		seen[n.ID()] = true
+	}
+	// First-level index units are hosted by one of their own child
+	// storage units (§4.2: "randomly mapped to one of its child nodes");
+	// higher levels may land on any remaining server.
+	for _, iu := range c.Tree.IndexUnits() {
+		host := c.HostOf(iu)
+		if host == nil {
+			t.Fatalf("index unit %d unhosted", iu.ID)
+		}
+		if iu.Level != 1 {
+			continue
+		}
+		var leaves []*semtree.Node
+		leaves = iu.Leaves(leaves)
+		ok := false
+		for _, l := range leaves {
+			if c.NodeOf(l) == host {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("first-level index unit %d hosted outside its children (§4.2 violated)", iu.ID)
+		}
+	}
+}
+
+func TestIndexUnitsMappedToDistinctServers(t *testing.T) {
+	c, _ := deploy(t, 800, 16, 3, Config{Seed: 3})
+	storage, index := c.Tree.CountNodes()
+	if index >= storage {
+		t.Skipf("more index units (%d) than storage units (%d)", index, storage)
+	}
+	seen := map[int]bool{}
+	for _, iu := range c.Tree.IndexUnits() {
+		id := c.HostOf(iu).ID()
+		if seen[id] {
+			t.Fatalf("two index units share server %d despite spare capacity", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRootReplicasOnePerGroup(t *testing.T) {
+	c, _ := deploy(t, 600, 12, 5, Config{Seed: 5})
+	groups := c.Tree.FirstLevelIndexUnits()
+	if len(c.RootReplicas()) != len(groups) {
+		t.Fatalf("root replicas = %d, want one per group (%d)", len(c.RootReplicas()), len(groups))
+	}
+}
+
+func TestRangeOnlineExactOnSnapshot(t *testing.T) {
+	c, set := deploy(t, 800, 10, 7, Config{Seed: 7})
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 9)
+	for i := 0; i < 25; i++ {
+		q := gen.Range(0.1)
+		got, res := c.RangeOnline(q)
+		want := query.RangeTruth(set.Files, q)
+		if r := stats.Recall(want, got); r != 1 {
+			t.Fatalf("online range recall = %v, want 1 on clean snapshot", r)
+		}
+		if res.Latency <= 0 {
+			t.Fatal("latency not positive")
+		}
+		if res.Messages < int64(len(c.Tree.FirstLevelIndexUnits())) {
+			t.Fatalf("online messages = %d, expected at least one per group", res.Messages)
+		}
+	}
+}
+
+func TestRangeOfflineFewerMessages(t *testing.T) {
+	c, set := deploy(t, 1500, 15, 11, Config{Seed: 11})
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 13)
+	var onMsgs, offMsgs int64
+	var onLat, offLat float64
+	for i := 0; i < 30; i++ {
+		q := gen.Range(0.05)
+		_, on := c.RangeOnline(q)
+		_, off := c.RangeOffline(q)
+		onMsgs += on.Messages
+		offMsgs += off.Messages
+		onLat += float64(on.Latency)
+		offLat += float64(off.Latency)
+	}
+	if offMsgs >= onMsgs {
+		t.Fatalf("off-line messages %d not below on-line %d (Fig. 13b)", offMsgs, onMsgs)
+	}
+	if offLat >= onLat {
+		t.Fatalf("off-line latency %v not below on-line %v (Fig. 13a)", offLat, onLat)
+	}
+}
+
+func TestRangeOfflineRecallHigh(t *testing.T) {
+	c, set := deploy(t, 1500, 15, 17, Config{Seed: 17})
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 19)
+	var rec stats.Summary
+	for i := 0; i < 50; i++ {
+		q := gen.Range(0.04)
+		got, _ := c.RangeOffline(q)
+		want := query.RangeTruth(set.Files, q)
+		if len(want) == 0 {
+			continue
+		}
+		rec.Add(stats.Recall(want, got))
+	}
+	if rec.N() == 0 {
+		t.Skip("no non-empty queries")
+	}
+	if rec.Mean() < 0.7 {
+		t.Fatalf("off-line Zipf range recall = %v, want ≥ 0.7 (paper: 87–91%%)", rec.Mean())
+	}
+}
+
+func TestTopKOfflineReturnsK(t *testing.T) {
+	c, set := deploy(t, 800, 10, 23, Config{Seed: 23})
+	gen := trace.NewQueryGen(set, stats.Gauss, nil, 29)
+	for i := 0; i < 20; i++ {
+		q := gen.TopK(8)
+		got, res := c.TopKOffline(q)
+		if len(got) != 8 {
+			t.Fatalf("topk returned %d ids, want 8", len(got))
+		}
+		if res.Latency <= 0 {
+			t.Fatal("latency not positive")
+		}
+	}
+}
+
+func TestTopKOnlineRecallExactOnSnapshot(t *testing.T) {
+	c, set := deploy(t, 600, 8, 31, Config{Seed: 31})
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 37)
+	for i := 0; i < 15; i++ {
+		q := gen.TopK(8)
+		got, _ := c.TopKOnline(q)
+		want := query.TopKTruth(set.Files, set.Norm, q)
+		// Compare achieved k-th distance: online search is exhaustive so
+		// the distance profile must match the truth.
+		byID := map[uint64]*metadata.File{}
+		for _, f := range set.Files {
+			byID[f.ID] = f
+		}
+		var gotWorst, wantWorst float64
+		for _, id := range got {
+			if d := q.Dist(set.Norm, byID[id]); d > gotWorst {
+				gotWorst = d
+			}
+		}
+		for _, id := range want {
+			if d := q.Dist(set.Norm, byID[id]); d > wantWorst {
+				wantWorst = d
+			}
+		}
+		if gotWorst > wantWorst+1e-9 {
+			t.Fatalf("online topk k-th distance %v worse than truth %v", gotWorst, wantWorst)
+		}
+	}
+}
+
+func TestPointQueryHitRate(t *testing.T) {
+	c, set := deploy(t, 600, 10, 41, Config{Seed: 41})
+	gen := trace.NewQueryGen(set, stats.Uniform, nil, 43)
+	hits := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := gen.Point(1.0) // always existing files
+		got, _ := c.Point(p)
+		want := query.PointTruth(set.Files, p)
+		if stats.Recall(want, got) == 1 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.88 {
+		t.Fatalf("point hit rate = %v, want ≥ 0.88 (Fig. 9)", frac)
+	}
+}
+
+func TestStalenessWithoutVersioning(t *testing.T) {
+	cfg := Config{Seed: 47, Versioning: false, LazyUpdateThreshold: 0.5}
+	c, set := deploy(t, 800, 10, 47, cfg)
+	// Insert new files that would match a broad query.
+	var inserted []uint64
+	for i := 0; i < 30; i++ {
+		f := &metadata.File{ID: uint64(900000 + i), Path: "/new/f.bin"}
+		f.Attrs = set.Files[i].Attrs // clone an existing profile
+		c.InsertFile(f)
+		inserted = append(inserted, f.ID)
+	}
+	// A full-space online query must miss the unpropagated inserts.
+	q := query.NewRange(
+		trace.DefaultQueryAttrs(),
+		[]float64{-1e18, -1e18, -1e18},
+		[]float64{1e18, 1e18, 1e18},
+	)
+	got, _ := c.RangeOnline(q)
+	gotSet := map[uint64]bool{}
+	for _, id := range got {
+		gotSet[id] = true
+	}
+	for _, id := range inserted {
+		if gotSet[id] {
+			t.Fatalf("unpropagated insert %d visible without versioning", id)
+		}
+	}
+	// After propagation they appear.
+	c.PropagateAll()
+	got, _ = c.RangeOnline(q)
+	gotSet = map[uint64]bool{}
+	for _, id := range got {
+		gotSet[id] = true
+	}
+	for _, id := range inserted {
+		if !gotSet[id] {
+			t.Fatalf("insert %d invisible after propagation", id)
+		}
+	}
+}
+
+func TestVersioningRecoversRecentInserts(t *testing.T) {
+	cfg := Config{Seed: 53, Versioning: true, VersionRatio: 2, LazyUpdateThreshold: 0.5}
+	c, set := deploy(t, 800, 10, 53, cfg)
+	var inserted []uint64
+	for i := 0; i < 30; i++ {
+		f := &metadata.File{ID: uint64(900000 + i), Path: "/new/f.bin"}
+		f.Attrs = set.Files[i].Attrs
+		c.InsertFile(f)
+		inserted = append(inserted, f.ID)
+	}
+	q := query.NewRange(
+		trace.DefaultQueryAttrs(),
+		[]float64{-1e18, -1e18, -1e18},
+		[]float64{1e18, 1e18, 1e18},
+	)
+	got, res := c.RangeOnline(q)
+	gotSet := map[uint64]bool{}
+	for _, id := range got {
+		gotSet[id] = true
+	}
+	for _, id := range inserted {
+		if !gotSet[id] {
+			t.Fatalf("versioning failed to surface insert %d", id)
+		}
+	}
+	if res.VersionChecked == 0 {
+		t.Fatal("no version entries examined")
+	}
+	if res.VersionLatency <= 0 {
+		t.Fatal("version latency not accounted")
+	}
+}
+
+func TestLazyUpdateTriggersPropagation(t *testing.T) {
+	cfg := Config{Seed: 59, Versioning: true, LazyUpdateThreshold: 0.02}
+	c, set := deploy(t, 500, 5, 59, cfg)
+	before := c.ReplicaMulticasts
+	for i := 0; i < 100; i++ {
+		f := &metadata.File{ID: uint64(800000 + i), Path: "/bulk/f.bin"}
+		f.Attrs = set.Files[i%len(set.Files)].Attrs
+		c.InsertFile(f)
+	}
+	if c.ReplicaMulticasts == before {
+		t.Fatal("2% threshold never triggered replica multicast over 100 inserts")
+	}
+}
+
+func TestDeleteAndModifyFile(t *testing.T) {
+	cfg := Config{Seed: 61, Versioning: true, LazyUpdateThreshold: 0.9}
+	c, set := deploy(t, 400, 8, 61, cfg)
+	target := set.Files[17]
+
+	if _, ok := c.DeleteFile(target.ID); !ok {
+		t.Fatal("DeleteFile failed")
+	}
+	if _, ok := c.DeleteFile(target.ID); ok {
+		t.Fatal("double delete succeeded")
+	}
+	got, _ := c.Point(query.Point{Filename: target.Path})
+	for _, id := range got {
+		if id == target.ID {
+			t.Fatal("deleted file still returned")
+		}
+	}
+
+	mod := *set.Files[18]
+	mod.Attrs[metadata.AttrSize] = 42
+	if _, ok := c.ModifyFile(&mod); !ok {
+		t.Fatal("ModifyFile failed")
+	}
+	if _, ok := c.ModifyFile(&metadata.File{ID: 12345678}); ok {
+		t.Fatal("modify of missing file succeeded")
+	}
+}
+
+func TestHopsHistogramMostlyZero(t *testing.T) {
+	c, set := deploy(t, 2000, 20, 67, Config{Seed: 67})
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 71)
+	h := stats.NewHistogram(8)
+	for i := 0; i < 100; i++ {
+		q := gen.Range(0.03)
+		_, res := c.RangeOffline(q)
+		h.Add(res.Hops)
+	}
+	if h.Fraction(0) < 0.8 {
+		t.Fatalf("0-hop fraction = %v, want ≥ 0.8 for off-line routing (Fig. 8)", h.Fraction(0))
+	}
+}
+
+func TestIndexSizeBytes(t *testing.T) {
+	c, _ := deploy(t, 500, 10, 73, Config{Seed: 73})
+	if c.IndexSizeBytes() <= 0 {
+		t.Fatal("IndexSizeBytes must be positive")
+	}
+}
+
+func TestInsertUnitIntoCluster(t *testing.T) {
+	c, _ := deploy(t, 500, 10, 79, Config{Seed: 79})
+	extra := trace.MSN().Generate(50, 80)
+	leaf := c.InsertUnit(semtree.NewStorageUnit(500, extra.Files))
+	if leaf == nil || c.NodeOf(leaf) == nil {
+		t.Fatal("inserted unit not mapped")
+	}
+	if err := c.Tree.Validate(); err != nil {
+		t.Fatalf("tree invalid after unit insert: %v", err)
+	}
+}

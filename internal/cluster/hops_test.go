@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/trace"
+)
+
+func TestContributingHops(t *testing.T) {
+	g1 := &semtree.Node{ID: 1}
+	g2 := &semtree.Node{ID: 2}
+	g3 := &semtree.Node{ID: 3}
+	cases := []struct {
+		name    string
+		byGroup map[*semtree.Node][]uint64
+		final   []uint64
+		want    int
+	}{
+		{
+			name:    "single contributing group",
+			byGroup: map[*semtree.Node][]uint64{g1: {1, 2}, g2: {9}},
+			final:   []uint64{1, 2},
+			want:    0,
+		},
+		{
+			name:    "two contributing groups",
+			byGroup: map[*semtree.Node][]uint64{g1: {1}, g2: {2}},
+			final:   []uint64{1, 2},
+			want:    1,
+		},
+		{
+			name:    "checked but non-contributing groups ignored",
+			byGroup: map[*semtree.Node][]uint64{g1: {1}, g2: {8}, g3: {9}},
+			final:   []uint64{1},
+			want:    0,
+		},
+		{
+			name:    "empty final",
+			byGroup: map[*semtree.Node][]uint64{g1: {1}},
+			final:   nil,
+			want:    0,
+		},
+		{
+			name:    "three contributors",
+			byGroup: map[*semtree.Node][]uint64{g1: {1}, g2: {2}, g3: {3}},
+			final:   []uint64{1, 2, 3},
+			want:    2,
+		},
+	}
+	for _, c := range cases {
+		if got := contributingHops(c.byGroup, c.final); got != c.want {
+			t.Errorf("%s: hops = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOfflineMaxGroupsScaling(t *testing.T) {
+	// Small deployments: cap near 3; larger: grows slowly, never above
+	// the group count.
+	c, _ := deploy(t, 400, 8, 91, Config{Seed: 91})
+	groups := len(c.Tree.FirstLevelIndexUnits())
+	m := c.offlineMaxGroups()
+	if m < 1 || m > groups {
+		t.Fatalf("offlineMaxGroups = %d with %d groups", m, groups)
+	}
+	big, _ := deploy(t, 3000, 60, 93, Config{Seed: 93})
+	groupsBig := len(big.Tree.FirstLevelIndexUnits())
+	mBig := big.offlineMaxGroups()
+	if mBig > groupsBig {
+		t.Fatalf("offlineMaxGroups = %d exceeds %d groups", mBig, groupsBig)
+	}
+	if groupsBig > 8 && mBig >= groupsBig {
+		t.Fatal("off-line search must stay bounded well below all-groups multicast")
+	}
+}
+
+func TestVersionLatencyScalesWithVirtualPopulation(t *testing.T) {
+	cfg := Config{Seed: 95, Versioning: true, LazyUpdateThreshold: 0.9, VirtualScale: 1000}
+	c, set := deploy(t, 600, 10, 95, cfg)
+	for i := 0; i < 40; i++ {
+		nf := *set.Files[i]
+		nf.ID = uint64(700000 + i)
+		nf.Path = "/v/f.bin"
+		c.InsertFile(&nf)
+	}
+	q := fullSpaceRange()
+	_, res := c.RangeOnline(q)
+	if res.VersionChecked == 0 {
+		t.Fatal("no version entries examined")
+	}
+	small, _ := deploy(t, 600, 10, 95, Config{Seed: 95, Versioning: true, LazyUpdateThreshold: 0.9})
+	for i := 0; i < 40; i++ {
+		nf := *set.Files[i]
+		nf.ID = uint64(700000 + i)
+		nf.Path = "/v/f.bin"
+		small.InsertFile(&nf)
+	}
+	_, resSmall := small.RangeOnline(q)
+	if res.VersionLatency <= resSmall.VersionLatency {
+		t.Fatalf("version latency %v not scaled above unscaled %v",
+			res.VersionLatency, resSmall.VersionLatency)
+	}
+}
+
+func fullSpaceRange() query.Range {
+	return query.NewRange(
+		trace.DefaultQueryAttrs(),
+		[]float64{-1e18, -1e18, -1e18},
+		[]float64{1e18, 1e18, 1e18},
+	)
+}

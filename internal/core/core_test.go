@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestNewInstanceDefaults(t *testing.T) {
+	in := NewInstance(Options{Spec: trace.MSN(), BaseFiles: 500, Units: 10, Seed: 1})
+	if len(in.Set.Files) != 500 {
+		t.Fatalf("sample = %d files, want 500", len(in.Set.Files))
+	}
+	if in.Opt.VirtualTIF != trace.MSN().DefaultTIF {
+		t.Fatalf("VirtualTIF = %d, want default %d", in.Opt.VirtualTIF, trace.MSN().DefaultTIF)
+	}
+	// MSN×100 = 125M virtual files over a 500-file sample.
+	if in.VirtualScale < 1e4 {
+		t.Fatalf("VirtualScale = %v, implausibly small", in.VirtualScale)
+	}
+	if err := in.Tree.Validate(); err != nil {
+		t.Fatalf("deployed tree invalid: %v", err)
+	}
+}
+
+func TestNewInstancePanicsWithoutSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInstance without spec did not panic")
+		}
+	}()
+	NewInstance(Options{})
+}
+
+func TestObserveRangeAndTopK(t *testing.T) {
+	in := NewInstance(Options{Spec: trace.EECS(), BaseFiles: 800, Units: 10, Seed: 3})
+	gen := in.QueryGen(stats.Zipf, 7)
+	out := NewRecallOutcome()
+	for i := 0; i < 20; i++ {
+		in.ObserveRange(gen.Range(0.05), out)
+		in.ObserveTopK(gen.TopK(8), out)
+	}
+	if out.Latency.N() != 40 {
+		t.Fatalf("latency observations = %d, want 40", out.Latency.N())
+	}
+	if out.Recall.N() == 0 {
+		t.Fatal("no recall observations")
+	}
+	if m := out.Recall.Mean(); m < 0.5 || m > 1 {
+		t.Fatalf("recall mean = %v out of plausible range", m)
+	}
+	if out.Hops.Total() != 40 {
+		t.Fatalf("hops observations = %d, want 40", out.Hops.Total())
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := NewInstance(Options{Spec: trace.HP(), BaseFiles: 300, Units: 5, Seed: 9})
+	s := in.String()
+	if !strings.Contains(s, "HP") || !strings.Contains(s, "300 files") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTIFSampleScalesPopulation(t *testing.T) {
+	in := NewInstance(Options{Spec: trace.MSN(), BaseFiles: 100, TIFSample: 3, Units: 5, Seed: 11})
+	if len(in.Set.Files) != 300 {
+		t.Fatalf("TIF-sampled population = %d, want 300", len(in.Set.Files))
+	}
+}

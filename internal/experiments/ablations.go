@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/kmeans"
+	"repro/internal/metadata"
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// AblationLSIvsKMeans quantifies §3.1.1's argument for LSI over
+// K-means: group quality (within-group SSE of the placement) and the
+// resulting off-line range recall under both placements.
+func AblationLSIvsKMeans(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "ablation-lsi-kmeans",
+		Caption: "Grouping tool ablation (MSN): LSI semantic sort vs K-means vs round-robin",
+		Header:  []string{"placement", "within-unit SSE", "offline range recall"},
+	}
+	set := trace.MSN().Generate(p.BaseFiles, p.Seed)
+	attrs := trace.DefaultQueryAttrs()
+
+	place := map[string][]*semtree.StorageUnit{
+		"LSI semantic sort": semtree.PlaceSemantic(set.Files, p.Units, set.Norm, attrs),
+		"round-robin":       semtree.PlaceRoundRobin(set.Files, p.Units),
+	}
+	// K-means placement: cluster file vectors into Units clusters, then
+	// rebalance to equal sizes by splitting oversized clusters.
+	place["K-means"] = kmeansPlacement(set, p.Units, attrs, p.Seed)
+
+	for _, name := range []string{"LSI semantic sort", "K-means", "round-robin"} {
+		units := place[name]
+		var sse float64
+		for _, u := range units {
+			sse += metadata.SumSquaredError(set.Norm, u.Files, attrs)
+		}
+		recall := placementRecall(set, units, attrs, p)
+		t.AddRow(name, f3(sse), pct(recall))
+	}
+	return t
+}
+
+func kmeansPlacement(set *trace.Set, nUnits int, attrs []metadata.Attr, seed uint64) []*semtree.StorageUnit {
+	vectors := make([][]float64, len(set.Files))
+	for i, f := range set.Files {
+		vectors[i] = set.Norm.Vector(f, attrs)
+	}
+	res, err := kmeans.Cluster(vectors, nUnits, stats.NewRNG(seed))
+	if err != nil {
+		return semtree.PlaceRoundRobin(set.Files, nUnits)
+	}
+	buckets := make([][]*metadata.File, nUnits)
+	for i, f := range set.Files {
+		c := res.Assignment[i]
+		buckets[c] = append(buckets[c], f)
+	}
+	units := make([]*semtree.StorageUnit, nUnits)
+	for i := range units {
+		units[i] = semtree.NewStorageUnit(i, buckets[i])
+	}
+	return units
+}
+
+func placementRecall(set *trace.Set, units []*semtree.StorageUnit, attrs []metadata.Attr, p Params) float64 {
+	tree := semtree.Build(units, set.Norm, semtree.Config{Attrs: attrs})
+	in := coreInstanceFromTree(set, tree, p)
+	gen := trace.NewQueryGen(set, stats.Zipf, attrs, p.Seed+53)
+	out := core.NewRecallOutcome()
+	for i := 0; i < p.Queries; i++ {
+		in.ObserveRange(gen.Range(0.04), out)
+	}
+	return out.Recall.Mean()
+}
+
+// coreInstanceFromTree wraps an externally built tree in an Instance so
+// the Observe helpers can run over it.
+func coreInstanceFromTree(set *trace.Set, tree *semtree.Tree, p Params) *core.Instance {
+	return core.WrapDeployment(set, tree, p.Seed)
+}
+
+// AblationBloomSizing sweeps Bloom-filter geometry around the §5.1
+// setting (1024 bits, k=7): fill ratio and analytic false-positive rate
+// per storage unit at the experiment's population.
+func AblationBloomSizing(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "ablation-bloom",
+		Caption: "Bloom filter sizing (per-unit population)",
+		Header:  []string{"bits", "k", "fill ratio", "est. false positive"},
+	}
+	set := trace.MSN().Generate(p.BaseFiles, p.Seed)
+	perUnit := len(set.Files) / p.Units
+	if perUnit < 1 {
+		perUnit = 1
+	}
+	for _, bits := range []int{512, 1024, 2048, 4096} {
+		for _, k := range []int{3, 7, 11} {
+			f := bloom.New(bits, k)
+			for i := 0; i < perUnit; i++ {
+				f.Add(set.Files[i%len(set.Files)].Path + fmt.Sprintf("#%d", i))
+			}
+			t.AddRow(fmt.Sprintf("%d", bits), fmt.Sprintf("%d", k),
+				f3(f.FillRatio()), f3(f.EstimatedFalsePositiveRate()))
+		}
+	}
+	return t
+}
+
+// AblationAdmissionThreshold sweeps the level-1 admission threshold and
+// reports group count and off-line recall — the balance-vs-correlation
+// trade-off of §3.2.1.
+func AblationAdmissionThreshold(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "ablation-threshold",
+		Caption: "Admission threshold sweep (MSN)",
+		Header:  []string{"threshold", "first-level groups", "offline range recall"},
+	}
+	set := trace.MSN().Generate(p.BaseFiles, p.Seed)
+	attrs := trace.DefaultQueryAttrs()
+	for _, eps := range []float64{0.3, 0.5, 0.7, 0.9, 0.97} {
+		units := semtree.PlaceSemantic(set.Files, p.Units, set.Norm, attrs)
+		tree := semtree.Build(units, set.Norm, semtree.Config{Attrs: attrs, BaseThreshold: eps})
+		in := coreInstanceFromTree(set, tree, p)
+		gen := trace.NewQueryGen(set, stats.Zipf, attrs, p.Seed+59)
+		out := core.NewRecallOutcome()
+		for i := 0; i < p.Queries; i++ {
+			in.ObserveRange(gen.Range(0.04), out)
+		}
+		t.AddRow(f2(eps), fmt.Sprintf("%d", len(tree.FirstLevelIndexUnits())), pct(out.Recall.Mean()))
+	}
+	return t
+}
+
+// AblationAutoConfig compares querying the matched specialized tree
+// versus forcing every query through the full-D tree (§2.4).
+func AblationAutoConfig(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "ablation-autoconfig",
+		Caption: "Automatic configuration (MSN): specialized vs full-D tree",
+		Header:  []string{"query attrs", "tree used", "offline range recall"},
+	}
+	set := trace.MSN().Generate(p.BaseFiles, p.Seed)
+	units := semtree.PlaceSemantic(set.Files, p.Units, set.Norm, metadata.AllAttrs())
+	forest := semtree.AutoConfigure(units, set.Norm, semtree.Config{}, nil, 0.0001)
+
+	queryAttrs := []metadata.Attr{metadata.AttrSize, metadata.AttrMTime}
+	for _, mode := range []string{"matched", "full-D"} {
+		tree := forest.Full
+		if mode == "matched" {
+			tree = forest.SelectTree(queryAttrs)
+		}
+		in := coreInstanceFromTree(set, tree, p)
+		gen := trace.NewQueryGen(set, stats.Zipf, queryAttrs, p.Seed+61)
+		out := core.NewRecallOutcome()
+		for i := 0; i < p.Queries; i++ {
+			in.ObserveRange(gen.Range(0.05), out)
+		}
+		t.AddRow(semtree.SubsetKey(queryAttrs), mode+" ("+semtree.SubsetKey(tree.Attrs)+")",
+			pct(out.Recall.Mean()))
+	}
+	return t
+}
+
+// AblationReplicaDepth compares replicating first-level index units
+// (§3.4's choice) against replicating deeper levels: groups at deeper
+// replica levels are smaller, so single-group searches see less data —
+// cheaper but lower recall.
+func AblationReplicaDepth(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "ablation-replica-depth",
+		Caption: "Replica depth (MSN): routed-search recall vs records scanned",
+		Header:  []string{"replica level", "groups", "recall", "records/query"},
+	}
+	in := core.NewInstance(core.Options{
+		Spec: trace.MSN(), BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+	})
+	gen := in.QueryGen(stats.Zipf, p.Seed+67)
+	for _, level := range []int{1, 0} { // 1 = first-level groups, 0 = single units
+		groups := groupsAtLevel(in.Tree, level)
+		var rec, scanned stats.Summary
+		for i := 0; i < p.Queries; i++ {
+			q := gen.Range(0.04)
+			g := bestGroupForRange(in.Tree, groups, q)
+			ids, st := in.Tree.SearchGroupRange(g, q)
+			truth := query.RangeTruth(in.Set.Files, q)
+			if len(truth) > 0 {
+				rec.Add(stats.Recall(truth, ids))
+			}
+			scanned.Add(float64(st.RecordsScanned))
+		}
+		t.AddRow(fmt.Sprintf("%d", level), fmt.Sprintf("%d", len(groups)),
+			pct(rec.Mean()), f1(scanned.Mean()))
+	}
+	return t
+}
+
+// groupsAtLevel returns the tree nodes at the given level (0 = leaves).
+func groupsAtLevel(t *semtree.Tree, level int) []*semtree.Node {
+	var out []*semtree.Node
+	var walk func(n *semtree.Node)
+	walk = func(n *semtree.Node) {
+		if n.Level == level {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	if len(out) == 0 {
+		out = append(out, t.Root)
+	}
+	return out
+}
+
+// bestGroupForRange picks the candidate whose MBR overlaps the query
+// window most, mirroring the off-line routing rule over an arbitrary
+// candidate set.
+func bestGroupForRange(t *semtree.Tree, groups []*semtree.Node, q query.Range) *semtree.Node {
+	best := groups[0]
+	bestVol := -1.0
+	for _, g := range groups {
+		if !g.HasMBR {
+			continue
+		}
+		vol := 1.0
+		ok := true
+		for i, a := range q.Attrs {
+			lo := maxF(t.Norm.Value(a, q.Lo[i]), t.Norm.Value(a, g.MBR.Lo[a]))
+			hi := minF(t.Norm.Value(a, q.Hi[i]), t.Norm.Value(a, g.MBR.Hi[a]))
+			if hi < lo {
+				ok = false
+				break
+			}
+			vol *= hi - lo
+		}
+		if ok && vol > bestVol {
+			best, bestVol = g, vol
+		}
+	}
+	return best
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

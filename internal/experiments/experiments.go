@@ -1,0 +1,100 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a pure function from Params to a
+// Table of rows; cmd/smartbench prints them and bench_test.go times
+// them. DESIGN.md §3 maps experiment ids to paper artifacts.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Params scales an experiment run. Tests use small values; benches use
+// Default() to approach the paper's populations.
+type Params struct {
+	// BaseFiles is the per-trace sample population.
+	BaseFiles int
+	// Units is the cluster size (the paper's prototype uses 60).
+	Units int
+	// Queries is the number of queries per measured cell.
+	Queries int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Default returns bench-scale parameters: 60 units as in §5.1 and query
+// batches large enough for stable means.
+func Default() Params {
+	return Params{BaseFiles: 3000, Units: 60, Queries: 200, Seed: 2009}
+}
+
+// Quick returns test-scale parameters.
+func Quick() Params {
+	return Params{BaseFiles: 600, Units: 12, Queries: 30, Seed: 7}
+}
+
+func (p Params) withDefaults() Params {
+	d := Default()
+	if p.BaseFiles == 0 {
+		p.BaseFiles = d.BaseFiles
+	}
+	if p.Units == 0 {
+		p.Units = d.Units
+	}
+	if p.Queries == 0 {
+		p.Queries = d.Queries
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Table is a rendered experiment result: a caption, a header and rows.
+type Table struct {
+	ID      string // experiment id, e.g. "table4", "fig13a"
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metadata"
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SpaceOverhead reproduces Fig. 7: per-node index space of SmartStore
+// versus the centralized R-tree and DBMS footprints, per trace.
+func SpaceOverhead(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "fig7",
+		Caption: "Space overhead per node (KB)",
+		Header:  []string{"trace", "SmartStore/node", "R-tree (central)", "DBMS (central)"},
+	}
+	for _, spec := range trace.Specs() {
+		in := core.NewInstance(core.Options{
+			Spec: spec, BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+		})
+		cfg := baseline.Config{VirtualScale: in.VirtualScale}
+		dbms := baseline.NewDBMS(in.Set.Files, in.Set.Norm, cfg)
+		rt := baseline.NewRTree(in.Set.Files, in.Set.Norm, cfg)
+		t.AddRow(spec.Name,
+			f1(float64(in.Cluster.IndexSizeBytes())/1024),
+			f1(float64(rt.SizeBytes())/1024),
+			f1(float64(dbms.SizeBytes())/1024),
+		)
+	}
+	return t
+}
+
+// SpaceOverheadNumbers returns the three footprints for assertions.
+func SpaceOverheadNumbers(spec *trace.Spec, p Params) (smart, rtree, dbms int) {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: spec, BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+	})
+	cfg := baseline.Config{VirtualScale: in.VirtualScale}
+	d := baseline.NewDBMS(in.Set.Files, in.Set.Norm, cfg)
+	r := baseline.NewRTree(in.Set.Files, in.Set.Norm, cfg)
+	return in.Cluster.IndexSizeBytes(), r.SizeBytes(), d.SizeBytes()
+}
+
+// RoutingHops reproduces Fig. 8: the distribution of routing distance
+// (groups visited beyond the first) for complex queries per trace.
+// The paper reports 87.3–90.6% of operations served by one group.
+func RoutingHops(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "fig8",
+		Caption: "Routing distance of complex queries (fraction of operations)",
+		Header:  []string{"trace", "0 hop", "1 hop", "2 hops", "3+ hops"},
+	}
+	for _, spec := range trace.Specs() {
+		h := RoutingHopsHistogram(spec, p)
+		three := 0.0
+		for i := 3; i < 8; i++ {
+			three += h.Fraction(i)
+		}
+		t.AddRow(spec.Name, pct(h.Fraction(0)), pct(h.Fraction(1)), pct(h.Fraction(2)), pct(three))
+	}
+	return t
+}
+
+// RoutingHopsHistogram runs the Fig. 8 workload for one trace.
+func RoutingHopsHistogram(spec *trace.Spec, p Params) *stats.Histogram {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: spec, BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+	})
+	gen := in.QueryGen(stats.Zipf, p.Seed+11)
+	h := stats.NewHistogram(8)
+	for i := 0; i < p.Queries; i++ {
+		if i%2 == 0 {
+			// Selective windows, as in the paper's example queries
+			// ("revised between 10:00 and 16:20, read 30–50MB").
+			_, res := in.Cluster.RangeOffline(gen.Range(0.02))
+			h.Add(res.Hops)
+		} else {
+			_, res := in.Cluster.TopKOffline(gen.TopK(8))
+			h.Add(res.Hops)
+		}
+	}
+	return h
+}
+
+// PointHitRate reproduces Fig. 9: the fraction of point queries served
+// accurately via the Bloom-filter path, per trace. The paper reports
+// over 88.2%.
+func PointHitRate(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "fig9",
+		Caption: "Average hit rate for point query",
+		Header:  []string{"trace", "hit rate"},
+	}
+	for _, spec := range trace.Specs() {
+		t.AddRow(spec.Name, pct(PointHitRateNumber(spec, p)))
+	}
+	return t
+}
+
+// PointHitRateNumber runs the Fig. 9 workload for one trace: point
+// queries over existing names interleaved with metadata churn. Lookups
+// are recency-biased (users look up what was just created), so replica
+// staleness — names not yet propagated into index-unit Bloom filters —
+// produces the false negatives of §5.4.1 alongside hash-collision
+// false positives; the paper reports 88.2%+ served accurately.
+func PointHitRateNumber(spec *trace.Spec, p Params) float64 {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: spec, BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+		Versioning: false, LazyThreshold: 0.02,
+	})
+	pointGen := trace.NewQueryGen(in.Set, stats.Zipf, nil, p.Seed+17)
+	rng := stats.NewRNG(p.Seed + 19)
+	hits, total := 0, 0
+	nextID := uint64(10_000_000)
+	var recent []*metadata.File
+	for i := 0; i < p.Queries; i++ {
+		// Churn: ~20% of operations insert a new file.
+		if rng.Float64() < 0.20 {
+			src := in.Set.Files[rng.IntN(len(in.Set.Files))]
+			nf := &metadata.File{ID: nextID, Path: fmt.Sprintf("/churn/f%d.dat", nextID)}
+			nf.Attrs = src.Attrs
+			in.Cluster.InsertFile(nf)
+			in.Set.Files = append(in.Set.Files, nf)
+			recent = append(recent, nf)
+			if len(recent) > 16 {
+				recent = recent[1:]
+			}
+			nextID++
+		}
+		// Recency bias: ~15% of lookups target a recently created name.
+		var q query.Point
+		if len(recent) > 0 && rng.Float64() < 0.15 {
+			q = query.Point{Filename: recent[rng.IntN(len(recent))].Path}
+		} else {
+			q = pointGen.Point(1.0)
+		}
+		got, _ := in.Cluster.Point(q)
+		want := query.PointTruth(in.Set.Files, q)
+		total++
+		if stats.Recall(want, got) == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(total)
+}
+
+// RecallHP reproduces Fig. 10: recall of top-8 NN and range queries on
+// the HP trace under Uniform, Gauss and Zipf query distributions.
+func RecallHP(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "fig10",
+		Caption: "Recall of complex queries, HP trace",
+		Header:  []string{"distribution", "top-8 NN", "range"},
+	}
+	for _, dist := range stats.Distributions {
+		topk, rng := RecallHPNumbers(dist, p)
+		t.AddRow(dist.String(), pct(topk), pct(rng))
+	}
+	return t
+}
+
+// RecallHPNumbers computes (top-8 recall, range recall) for one query
+// distribution on HP.
+func RecallHPNumbers(dist stats.Distribution, p Params) (topk, rangeRecall float64) {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: trace.HP(), BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+	})
+	gen := in.QueryGen(dist, p.Seed+23)
+	outK := core.NewRecallOutcome()
+	outR := core.NewRecallOutcome()
+	for i := 0; i < p.Queries; i++ {
+		in.ObserveTopK(gen.TopK(8), outK)
+		in.ObserveRange(gen.Range(0.04), outR)
+	}
+	return outK.Recall.Mean(), outR.Recall.Mean()
+}
+
+// OptimalThresholds reproduces Fig. 11: (a) the optimal admission
+// threshold as a function of system scale, and (b) the optimal
+// threshold per semantic R-tree level for 60 nodes.
+func OptimalThresholds(p Params) (*Table, *Table) {
+	p = p.withDefaults()
+	a := &Table{
+		ID:      "fig11a",
+		Caption: "Optimal admission threshold vs system scale (MSN)",
+		Header:  []string{"storage units", "optimal threshold"},
+	}
+	for _, units := range []int{20, 40, 60, 80, 100} {
+		if units > p.BaseFiles {
+			continue
+		}
+		in := core.NewInstance(core.Options{
+			Spec: trace.MSN(), BaseFiles: p.BaseFiles, Units: units, Seed: p.Seed,
+		})
+		nodes := in.Tree.Leaves()
+		best, _ := semtree.OptimalThreshold(nodes, thresholdCandidates(nodes), 10)
+		a.AddRow(fmt.Sprintf("%d", units), f3(best))
+	}
+
+	b := &Table{
+		ID:      "fig11b",
+		Caption: fmt.Sprintf("Optimal threshold per tree level (%d nodes, MSN)", p.Units),
+		Header:  []string{"tree level", "optimal threshold"},
+	}
+	in := core.NewInstance(core.Options{
+		Spec: trace.MSN(), BaseFiles: p.BaseFiles, Units: p.Units, Seed: p.Seed,
+	})
+	byLevel := nodesByLevel(in.Tree)
+	for level := 0; level < len(byLevel); level++ {
+		nodes := byLevel[level]
+		if len(nodes) < 2 {
+			continue
+		}
+		best, _ := semtree.OptimalThreshold(nodes, thresholdCandidates(nodes), 10)
+		b.AddRow(fmt.Sprintf("%d", level+1), f3(best))
+	}
+	return a, b
+}
+
+// thresholdCandidates derives the admission-threshold sweep from the
+// observed pairwise-similarity distribution (the paper's "sampling
+// analysis", §3.2.1): candidates are the similarity deciles, so the
+// sweep actually discriminates regardless of how compressed the cosine
+// range is.
+func thresholdCandidates(nodes []*semtree.Node) []float64 {
+	vectors := make([][]float64, len(nodes))
+	for i, n := range nodes {
+		vectors[i] = n.Vector
+	}
+	var out []float64
+	seen := map[float64]bool{}
+	for q := 0.1; q < 0.95; q += 0.1 {
+		c := semtree.SampleThreshold(vectors, q)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{0.5}
+	}
+	return out
+}
+
+func nodesByLevel(t *semtree.Tree) [][]*semtree.Node {
+	depth := t.Height()
+	out := make([][]*semtree.Node, depth)
+	var walk func(n *semtree.Node)
+	walk = func(n *semtree.Node) {
+		if n.Level < depth {
+			out[n.Level] = append(out[n.Level], n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// RecallScale reproduces Fig. 12: recall of a 2000-query mix (half
+// range, half top-k) as a function of system scale, for Gauss and Zipf
+// distributions.
+func RecallScale(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "fig12",
+		Caption: "Recall vs system scale (range+top-k mix, EECS)",
+		Header:  []string{"storage units", "Gauss", "Zipf"},
+	}
+	for _, units := range []int{20, 40, 60, 80, 100} {
+		if units > p.BaseFiles {
+			continue
+		}
+		g := RecallScaleNumber(stats.Gauss, units, p)
+		z := RecallScaleNumber(stats.Zipf, units, p)
+		t.AddRow(fmt.Sprintf("%d", units), pct(g), pct(z))
+	}
+	return t
+}
+
+// RecallScaleNumber runs the Fig. 12 mix at one scale/distribution.
+func RecallScaleNumber(dist stats.Distribution, units int, p Params) float64 {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: trace.EECS(), BaseFiles: p.BaseFiles, Units: units, Seed: p.Seed,
+	})
+	gen := in.QueryGen(dist, p.Seed+29)
+	out := core.NewRecallOutcome()
+	for i := 0; i < p.Queries/2; i++ {
+		in.ObserveRange(gen.Range(0.04), out)
+		in.ObserveTopK(gen.TopK(8), out)
+	}
+	return out.Recall.Mean()
+}
+
+// OnOffline reproduces Fig. 13: (a) query latency and (b) message count
+// of the on-line multicast versus off-line pre-processing approaches as
+// a function of system scale, under Zipf queries.
+func OnOffline(p Params) (*Table, *Table) {
+	p = p.withDefaults()
+	a := &Table{
+		ID:      "fig13a",
+		Caption: "On-line vs off-line query latency (s) vs system scale (MSN, Zipf)",
+		Header:  []string{"storage units", "on-line", "off-line"},
+	}
+	b := &Table{
+		ID:      "fig13b",
+		Caption: "On-line vs off-line messages per query vs system scale (MSN, Zipf)",
+		Header:  []string{"storage units", "on-line", "off-line"},
+	}
+	for _, units := range []int{20, 40, 60, 80, 100} {
+		if units > p.BaseFiles {
+			continue
+		}
+		onLat, offLat, onMsg, offMsg := OnOfflineNumbers(units, p)
+		a.AddRow(fmt.Sprintf("%d", units), f3(onLat), f3(offLat))
+		b.AddRow(fmt.Sprintf("%d", units), f1(onMsg), f1(offMsg))
+	}
+	return a, b
+}
+
+// OnOfflineNumbers measures one scale point of Fig. 13.
+func OnOfflineNumbers(units int, p Params) (onLat, offLat, onMsg, offMsg float64) {
+	p = p.withDefaults()
+	in := core.NewInstance(core.Options{
+		Spec: trace.MSN(), BaseFiles: p.BaseFiles, Units: units, Seed: p.Seed,
+	})
+	gen := in.QueryGen(stats.Zipf, p.Seed+31)
+	var sOnLat, sOffLat, sOnMsg, sOffMsg stats.Summary
+	for i := 0; i < p.Queries; i++ {
+		q := gen.Range(0.04)
+		_, on := in.Cluster.RangeOnline(q)
+		_, off := in.Cluster.RangeOffline(q)
+		sOnLat.Add(float64(on.Latency))
+		sOffLat.Add(float64(off.Latency))
+		sOnMsg.Add(float64(on.Messages))
+		sOffMsg.Add(float64(off.Messages))
+	}
+	return sOnLat.Mean(), sOffLat.Mean(), sOnMsg.Mean(), sOffMsg.Mean()
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metadata"
+	"repro/internal/trace"
+)
+
+// TraceScaleUp reproduces Tables 1–3: the published original trace
+// statistics next to their TIF-scaled counterparts, plus the generated
+// sample's empirical statistics as a sanity column.
+func TraceScaleUp(spec *trace.Spec, p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      fmt.Sprintf("table%d", tableIndex(spec.Name)),
+		Caption: fmt.Sprintf("Scaled-up %s (TIF=%d)", spec.Name, spec.DefaultTIF),
+		Header:  []string{"statistic", "original", fmt.Sprintf("TIF=%d", spec.DefaultTIF), "unit"},
+	}
+	for _, st := range spec.Stats {
+		t.AddRow(st.Label, trimFloat(st.Original), trimFloat(st.Scaled), st.Unit)
+	}
+
+	// Empirical sanity rows from the generated sample.
+	set := spec.Generate(p.BaseFiles, p.Seed)
+	var reads, writes, reqs float64
+	for _, f := range set.Files {
+		reqs += f.Attrs[metadata.AttrAccessFreq]
+		reads += f.Attrs[metadata.AttrReadBytes]
+		writes += f.Attrs[metadata.AttrWriteBytes]
+	}
+	t.AddRow("[sample] files", fmt.Sprintf("%d", len(set.Files)), "", "")
+	t.AddRow("[sample] requests/file", f2(reqs/float64(len(set.Files))),
+		f2(spec.ReqPerFile), "target")
+	t.AddRow("[sample] read fraction", f2(reads/(reads+writes)),
+		f2(readVolumeFraction(spec)), "target±")
+	return t
+}
+
+// readVolumeFraction converts the spec's request-level read fraction to
+// an approximate volume fraction (both directions share the same size
+// distribution in the generator).
+func readVolumeFraction(spec *trace.Spec) float64 { return spec.ReadFrac }
+
+func tableIndex(name string) int {
+	switch name {
+	case "HP":
+		return 1
+	case "MSN":
+		return 2
+	default:
+		return 3
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

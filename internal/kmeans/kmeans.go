@@ -1,0 +1,154 @@
+// Package kmeans implements Lloyd's K-means clustering with k-means++
+// seeding. The paper (§3.1.1) discusses K-means [30] as the obvious
+// alternative grouping tool and argues LSI is preferable because
+// K-means "heavy[ily] depend[s] on the distribution of the initial set
+// of clusters and the input parameter K"; this package exists so the
+// LSI-vs-K-means ablation bench can quantify that comparison.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Result is a completed clustering.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int   // Assignment[i] = cluster of point i
+	Inertia    float64 // Σ ||p_i − centroid(p_i)||², the K-means objective
+	Iterations int
+}
+
+// MaxIterations bounds Lloyd refinement.
+const MaxIterations = 100
+
+// Cluster partitions points into k clusters. It is deterministic in rng.
+// It returns an error when inputs are empty, ragged, or k is out of
+// range.
+func Cluster(points [][]float64, k int, rng *rand.Rand) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmeans: k=%d out of range [1,%d]", k, n)
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), d)
+		}
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+
+	iters := 0
+	for ; iters < MaxIterations; iters++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if dd := sqDist(p, centroids[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an emptied cluster at a random point — the
+				// instability the paper complains about.
+				copy(centroids[c], points[rng.IntN(n)])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return &Result{
+		Centroids:  centroids,
+		Assignment: assign,
+		Inertia:    inertia,
+		Iterations: iters,
+	}, nil
+}
+
+// seedPlusPlus chooses initial centroids with the k-means++ scheme:
+// each subsequent seed is drawn proportional to squared distance from
+// the nearest existing seed.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := points[rng.IntN(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(p, c); dd < best {
+					best = dd
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.IntN(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, dd := range dists {
+				acc += dd
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package kmeans
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+func twoBlobs(n int, r *rand.Rand) [][]float64 {
+	pts := make([][]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+	}
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{10 + r.NormFloat64()*0.1, 10 + r.NormFloat64()*0.1})
+	}
+	return pts
+}
+
+func TestClusterErrors(t *testing.T) {
+	r := rng(1)
+	if _, err := Cluster(nil, 1, r); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := Cluster([][]float64{{1}}, 0, r); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Cluster([][]float64{{1}}, 2, r); err == nil {
+		t.Fatal("k>n should error")
+	}
+	if _, err := Cluster([][]float64{{1, 2}, {1}}, 1, r); err == nil {
+		t.Fatal("ragged points should error")
+	}
+}
+
+func TestSeparatedBlobs(t *testing.T) {
+	r := rng(2)
+	pts := twoBlobs(50, r)
+	res, err := Cluster(pts, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of blob 1 in one cluster, all of blob 2 in the other.
+	first := res.Assignment[0]
+	for i := 0; i < 50; i++ {
+		if res.Assignment[i] != first {
+			t.Fatalf("blob 1 split across clusters at %d", i)
+		}
+	}
+	second := res.Assignment[50]
+	if second == first {
+		t.Fatal("both blobs in the same cluster")
+	}
+	for i := 50; i < 100; i++ {
+		if res.Assignment[i] != second {
+			t.Fatalf("blob 2 split across clusters at %d", i)
+		}
+	}
+	if res.Inertia > 10 {
+		t.Fatalf("inertia %v too large for tight blobs", res.Inertia)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	r := rng(3)
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	res, err := Cluster(pts, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("k=n inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestK1CentroidIsMean(t *testing.T) {
+	r := rng(4)
+	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := Cluster(pts, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Centroids[0]
+	if c[0] != 1 || c[1] != 1 {
+		t.Fatalf("k=1 centroid = %v, want [1 1]", c)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	r := rng(5)
+	pts := [][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	res, err := Cluster(pts, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia = %v, want 0", res.Inertia)
+	}
+}
+
+// Property: every assignment indexes a valid cluster, and inertia is the
+// sum of squared distances to assigned centroids (non-negative, finite).
+func TestPropertyValidAssignments(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		n := 5 + int(r.Uint64()%30)
+		k := 1 + int(r.Uint64()%uint64(n))
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+		}
+		res, err := Cluster(pts, k, r)
+		if err != nil {
+			return false
+		}
+		if len(res.Assignment) != n || len(res.Centroids) != k {
+			return false
+		}
+		for _, a := range res.Assignment {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return res.Inertia >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing k never increases optimal inertia by much — in
+// particular k=n gives (near-)zero inertia.
+func TestPropertyInertiaShrinksWithK(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed | 1)
+		n := 10
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+		}
+		full, err := Cluster(pts, n, rng(seed|1))
+		if err != nil {
+			return false
+		}
+		return full.Inertia < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCluster1000x2(b *testing.B) {
+	r := rng(9)
+	pts := twoBlobs(500, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(pts, 8, rng(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package lsi implements the Latent Semantic Indexing tool SmartStore
+// uses to measure semantic correlation between file metadata (paper
+// §3.1.1).
+//
+// An attribute–item matrix A (t attributes × n items) is decomposed with
+// the SVD, A = U Σ Vᵀ, and truncated to its p largest singular values,
+// Ap = Up Σp Vpᵀ. Each item is then represented by its p-dimensional
+// coordinates (a row of Vp Σp), and an external query vector q ∈ Rᵗ is
+// folded into the same space as q̂ = Σp⁻¹ Upᵀ q. Correlation between
+// vectors in the semantic space is their normalized inner product.
+package lsi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// parallelThreshold is the item count above which pairwise matrices are
+// computed with a worker per core. Below it, goroutine overhead exceeds
+// the arithmetic.
+const parallelThreshold = 64
+
+// forEachRow runs fn(i) for i in [0, n), fanning out across cores when
+// n is large. Work is index-addressed, so the result is identical to
+// the sequential loop.
+func forEachRow(n int, fn func(i int)) {
+	if n < parallelThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Model is a fitted LSI model over n items with t attributes, truncated
+// to rank p.
+type Model struct {
+	t, n, p int
+	up      *matrix.Dense // t×p
+	sigma   []float64     // p singular values (descending)
+	items   *matrix.Dense // n×p: row i = item i's semantic coordinates (Vp Σp)
+}
+
+// DefaultRank picks the truncation rank for a t×n matrix: enough to keep
+// most variance while projecting into a genuinely lower-dimensional
+// subspace. The paper leaves p unspecified; min(t, n, 4) reflects that
+// metadata attribute spaces have low intrinsic dimensionality.
+func DefaultRank(t, n int) int {
+	p := 4
+	if t < p {
+		p = t
+	}
+	if n < p {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Fit builds an LSI model from item vectors: vectors[i] is item i's
+// t-dimensional attribute vector. rank ≤ 0 selects DefaultRank. Fit
+// returns an error when the inputs are empty or ragged.
+func Fit(vectors [][]float64, rank int) (*Model, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("lsi: no items")
+	}
+	t := len(vectors[0])
+	if t == 0 {
+		return nil, fmt.Errorf("lsi: zero-dimensional items")
+	}
+	for i, v := range vectors {
+		if len(v) != t {
+			return nil, fmt.Errorf("lsi: item %d has %d dims, want %d", i, len(v), t)
+		}
+	}
+	if rank <= 0 {
+		rank = DefaultRank(t, n)
+	}
+
+	// A is t×n with items as columns.
+	a := matrix.NewDense(t, n)
+	for j, v := range vectors {
+		for i, x := range v {
+			a.Set(i, j, x)
+		}
+	}
+	svd, err := matrix.ComputeSVD(a)
+	if err != nil && err != matrix.ErrNoConvergence {
+		return nil, err
+	}
+	svd = svd.Truncate(rank)
+	p := len(svd.Sigma)
+
+	// Item coordinates: rows of Vp scaled by Σp.
+	items := matrix.NewDense(n, p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			items.Set(i, j, svd.V.At(i, j)*svd.Sigma[j])
+		}
+	}
+	return &Model{t: t, n: n, p: p, up: svd.U, sigma: svd.Sigma, items: items}, nil
+}
+
+// Rank returns the truncation rank p actually used.
+func (m *Model) Rank() int { return m.p }
+
+// Items returns the number of items the model was fitted on.
+func (m *Model) Items() int { return m.n }
+
+// AttrDims returns the attribute dimensionality t.
+func (m *Model) AttrDims() int { return m.t }
+
+// ItemVector returns item i's p-dimensional semantic coordinates.
+func (m *Model) ItemVector(i int) []float64 {
+	return m.items.Row(i)
+}
+
+// FoldIn projects a t-dimensional query vector into the semantic
+// subspace: q̂ = Σp⁻¹ Upᵀ q, with zero singular values contributing zero
+// coordinates. The result is then comparable (after the Σ scaling
+// below) with item vectors.
+func (m *Model) FoldIn(q []float64) []float64 {
+	if len(q) != m.t {
+		panic(fmt.Sprintf("lsi: query dims %d != model dims %d", len(q), m.t))
+	}
+	// Upᵀ q
+	proj := make([]float64, m.p)
+	for j := 0; j < m.p; j++ {
+		var s float64
+		for i := 0; i < m.t; i++ {
+			s += m.up.At(i, j) * q[i]
+		}
+		proj[j] = s
+	}
+	// Σp⁻¹ scaling, then re-scale by Σp to land in item-coordinate space.
+	// The two cancel except for zero singular values, which are dropped:
+	// q̂_j = (Upᵀ q)_j when σ_j > 0, else 0. We keep the explicit form to
+	// mirror the paper's definition and guard σ=0.
+	for j := 0; j < m.p; j++ {
+		if m.sigma[j] == 0 {
+			proj[j] = 0
+		}
+	}
+	return proj
+}
+
+// Similarity returns the cosine similarity (normalized inner product,
+// §3.1.1) between two semantic-space vectors, mapped from [-1,1] to
+// [0,1] so it can serve directly as the admission-threshold correlation
+// value ε ∈ [0,1] of §3.1.1.
+func Similarity(a, b []float64) float64 {
+	c := matrix.Cosine(a, b)
+	return (c + 1) / 2
+}
+
+// DistanceCorrelation maps the Euclidean distance between two
+// semantic-space vectors to a correlation value in [0, 1]:
+// exp(−‖a−b‖). It is the smooth counterpart of the §1.1 semantic
+// correlation measure (which is defined through Euclidean distance to
+// group centroids): identical vectors score 1, and the score decays
+// continuously with distance. Grouping admission thresholds compare
+// against this value, which — unlike cosine in a rank-2 subspace —
+// spreads over the whole unit interval.
+func DistanceCorrelation(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-math.Sqrt(s))
+}
+
+// QueryItemSimilarity folds q into the model's space and returns its
+// similarity to item i.
+func (m *Model) QueryItemSimilarity(q []float64, i int) float64 {
+	return Similarity(m.FoldIn(q), m.ItemVector(i))
+}
+
+// PairwiseSimilarities returns the full n×n item-similarity matrix.
+// Cell (i,j) is the semantic correlation value between items i and j
+// used by the grouping algorithm of §3.1.2. Rows are computed in
+// parallel across cores for large n; the result is deterministic.
+func (m *Model) PairwiseSimilarities() *matrix.Dense {
+	out := matrix.NewDense(m.n, m.n)
+	rows := make([][]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		rows[i] = m.items.Row(i)
+	}
+	forEachRow(m.n, func(i int) {
+		out.Set(i, i, 1)
+		for j := i + 1; j < m.n; j++ {
+			out.Set(i, j, Similarity(rows[i], rows[j]))
+		}
+	})
+	// Mirror the upper triangle (single-writer-per-cell above keeps the
+	// parallel phase race-free).
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			out.Set(j, i, out.At(i, j))
+		}
+	}
+	return out
+}
+
+// PairwiseDistanceCorrelations returns the n×n matrix of
+// DistanceCorrelation values between item coordinates — the correlation
+// values the semantic grouping algorithm thresholds (§3.1.2). Rows are
+// computed in parallel across cores for large n; the result is
+// deterministic.
+func (m *Model) PairwiseDistanceCorrelations() *matrix.Dense {
+	out := matrix.NewDense(m.n, m.n)
+	rows := make([][]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		rows[i] = m.items.Row(i)
+	}
+	forEachRow(m.n, func(i int) {
+		out.Set(i, i, 1)
+		for j := i + 1; j < m.n; j++ {
+			out.Set(i, j, DistanceCorrelation(rows[i], rows[j]))
+		}
+	})
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			out.Set(j, i, out.At(i, j))
+		}
+	}
+	return out
+}
+
+// MostSimilarItem returns the index of the fitted item most similar to
+// the folded-in query, and the similarity value. It is the off-line
+// pre-processing primitive of §3.4: "use the LSI tool over the request
+// vector and semantic vectors of existing index units to check which
+// index unit is the most closely correlated with the request".
+func (m *Model) MostSimilarItem(q []float64) (int, float64) {
+	qv := m.FoldIn(q)
+	best, bestSim := 0, -1.0
+	for i := 0; i < m.n; i++ {
+		if s := Similarity(qv, m.ItemVector(i)); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	return best, bestSim
+}

@@ -1,0 +1,137 @@
+// Package query defines the three query interfaces SmartStore serves —
+// point (filename), range, and top-k nearest-neighbour (paper §1.2,
+// §3.3) — together with exhaustive-scan ground-truth evaluators used to
+// compute the Recall measure of §5.4.2.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// Point is a filename-based point query (§3.3.3).
+type Point struct {
+	Filename string
+}
+
+// Range is a multi-dimensional range query (§3.3.1): find all files
+// whose attribute a_i lies in [Lo[i], Hi[i]] for every queried
+// dimension. Values are in raw attribute units, exactly like the
+// paper's example "(10:00, 30, 5) and (16:20, 50, 8)".
+type Range struct {
+	Attrs  []metadata.Attr
+	Lo, Hi []float64
+}
+
+// NewRange builds a validated range query. It panics when the slices'
+// lengths disagree, and normalizes each dimension so Lo ≤ Hi.
+func NewRange(attrs []metadata.Attr, lo, hi []float64) Range {
+	if len(attrs) != len(lo) || len(lo) != len(hi) || len(attrs) == 0 {
+		panic(fmt.Sprintf("query: invalid range dims %d/%d/%d", len(attrs), len(lo), len(hi)))
+	}
+	l := append([]float64(nil), lo...)
+	h := append([]float64(nil), hi...)
+	for i := range l {
+		if l[i] > h[i] {
+			l[i], h[i] = h[i], l[i]
+		}
+	}
+	return Range{Attrs: attrs, Lo: l, Hi: h}
+}
+
+// Matches reports whether file f satisfies every dimension of r.
+func (r Range) Matches(f *metadata.File) bool {
+	for i, a := range r.Attrs {
+		v := f.Attrs[a]
+		if v < r.Lo[i] || v > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopK is a top-k nearest-neighbour query (§3.3.2): the k files whose
+// attributes are closest to Point, like the paper's "(11:20, 26.8,
+// 65.7, 6)" example. Point values are in raw attribute units; distances
+// are measured in normalized attribute space so no dimension dominates.
+type TopK struct {
+	Attrs []metadata.Attr
+	Point []float64
+	K     int
+}
+
+// NewTopK builds a validated top-k query.
+func NewTopK(attrs []metadata.Attr, point []float64, k int) TopK {
+	if len(attrs) != len(point) || len(attrs) == 0 {
+		panic(fmt.Sprintf("query: invalid topk dims %d/%d", len(attrs), len(point)))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("query: invalid k %d", k))
+	}
+	return TopK{Attrs: attrs, Point: append([]float64(nil), point...), K: k}
+}
+
+// Dist returns the normalized Euclidean distance from file f to the
+// query point.
+func (q TopK) Dist(n *metadata.Normalizer, f *metadata.File) float64 {
+	var s float64
+	for i, a := range q.Attrs {
+		d := n.Value(a, f.Attrs[a]) - n.Value(a, q.Point[i])
+		s += d * d
+	}
+	return s // squared distance is order-preserving; callers only rank
+}
+
+// RangeTruth returns the exact answer to r over the corpus by linear
+// scan — the ideal set T(q) for recall computation.
+func RangeTruth(files []*metadata.File, r Range) []uint64 {
+	var out []uint64
+	for _, f := range files {
+		if r.Matches(f) {
+			out = append(out, f.ID)
+		}
+	}
+	return out
+}
+
+// TopKTruth returns the exact top-k answer by linear scan, in ascending
+// distance order.
+func TopKTruth(files []*metadata.File, n *metadata.Normalizer, q TopK) []uint64 {
+	type cand struct {
+		id   uint64
+		dist float64
+	}
+	cands := make([]cand, 0, len(files))
+	for _, f := range files {
+		cands = append(cands, cand{f.ID, q.Dist(n, f)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	k := q.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// PointTruth returns the IDs of files whose path equals the queried
+// filename.
+func PointTruth(files []*metadata.File, p Point) []uint64 {
+	var out []uint64
+	for _, f := range files {
+		if f.Path == p.Filename {
+			out = append(out, f.ID)
+		}
+	}
+	return out
+}

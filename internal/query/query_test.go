@@ -1,0 +1,155 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metadata"
+)
+
+func mkFile(id uint64, path string, size, ctime float64) *metadata.File {
+	f := &metadata.File{ID: id, Path: path}
+	f.Attrs[metadata.AttrSize] = size
+	f.Attrs[metadata.AttrCTime] = ctime
+	return f
+}
+
+func corpus() []*metadata.File {
+	return []*metadata.File{
+		mkFile(1, "/a", 10, 100),
+		mkFile(2, "/b", 20, 200),
+		mkFile(3, "/c", 30, 300),
+		mkFile(4, "/d", 40, 400),
+	}
+}
+
+func TestNewRangeNormalizesBounds(t *testing.T) {
+	r := NewRange([]metadata.Attr{metadata.AttrSize}, []float64{50}, []float64{10})
+	if r.Lo[0] != 10 || r.Hi[0] != 50 {
+		t.Fatalf("bounds = %v..%v, want 10..50", r.Lo[0], r.Hi[0])
+	}
+}
+
+func TestNewRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRange mismatch did not panic")
+		}
+	}()
+	NewRange([]metadata.Attr{metadata.AttrSize}, []float64{1, 2}, []float64{3})
+}
+
+func TestRangeMatches(t *testing.T) {
+	r := NewRange(
+		[]metadata.Attr{metadata.AttrSize, metadata.AttrCTime},
+		[]float64{15, 150}, []float64{35, 350},
+	)
+	f := corpus()
+	if r.Matches(f[0]) {
+		t.Fatal("file 1 should not match")
+	}
+	if !r.Matches(f[1]) || !r.Matches(f[2]) {
+		t.Fatal("files 2,3 should match")
+	}
+	if r.Matches(f[3]) {
+		t.Fatal("file 4 should not match")
+	}
+}
+
+func TestRangeTruth(t *testing.T) {
+	r := NewRange([]metadata.Attr{metadata.AttrSize}, []float64{15}, []float64{35})
+	got := RangeTruth(corpus(), r)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("RangeTruth = %v, want [2 3]", got)
+	}
+	empty := NewRange([]metadata.Attr{metadata.AttrSize}, []float64{500}, []float64{600})
+	if got := RangeTruth(corpus(), empty); len(got) != 0 {
+		t.Fatalf("empty RangeTruth = %v", got)
+	}
+}
+
+func TestNewTopKPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewTopK([]metadata.Attr{metadata.AttrSize}, []float64{1, 2}, 3) },
+		func() { NewTopK([]metadata.Attr{metadata.AttrSize}, []float64{1}, 0) },
+		func() { NewTopK(nil, nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewTopK did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestTopKTruthOrderingAndK(t *testing.T) {
+	files := corpus()
+	var n metadata.Normalizer
+	n.Fit(files)
+	q := NewTopK([]metadata.Attr{metadata.AttrSize}, []float64{22}, 2)
+	got := TopKTruth(files, &n, q)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("TopKTruth = %v, want [2 3]", got)
+	}
+	// k larger than corpus clamps.
+	q = NewTopK([]metadata.Attr{metadata.AttrSize}, []float64{22}, 100)
+	if got := TopKTruth(files, &n, q); len(got) != 4 {
+		t.Fatalf("clamped TopKTruth len = %d, want 4", len(got))
+	}
+}
+
+func TestTopKDistMonotone(t *testing.T) {
+	files := corpus()
+	var n metadata.Normalizer
+	n.Fit(files)
+	q := NewTopK([]metadata.Attr{metadata.AttrSize}, []float64{10}, 1)
+	d1 := q.Dist(&n, files[0])
+	d4 := q.Dist(&n, files[3])
+	if d1 >= d4 {
+		t.Fatalf("dist to nearer file %v not < dist to farther %v", d1, d4)
+	}
+}
+
+func TestPointTruth(t *testing.T) {
+	got := PointTruth(corpus(), Point{Filename: "/c"})
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("PointTruth = %v, want [3]", got)
+	}
+	if got := PointTruth(corpus(), Point{Filename: "/zzz"}); len(got) != 0 {
+		t.Fatalf("missing file PointTruth = %v", got)
+	}
+}
+
+// Property: every id RangeTruth returns corresponds to a matching file,
+// and every matching file is returned.
+func TestPropertyRangeTruthExact(t *testing.T) {
+	f := func(sizes []uint16, loRaw, spanRaw uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		files := make([]*metadata.File, len(sizes))
+		for i, s := range sizes {
+			files[i] = mkFile(uint64(i+1), "/f", float64(s), 0)
+		}
+		lo := float64(loRaw)
+		hi := lo + float64(spanRaw)
+		r := NewRange([]metadata.Attr{metadata.AttrSize}, []float64{lo}, []float64{hi})
+		got := map[uint64]bool{}
+		for _, id := range RangeTruth(files, r) {
+			got[id] = true
+		}
+		for _, fl := range files {
+			want := fl.Attrs[metadata.AttrSize] >= lo && fl.Attrs[metadata.AttrSize] <= hi
+			if got[fl.ID] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package semtree
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Queries against a built tree are read-only and safe to run from many
+// goroutines — the deployment model of a metadata service answering
+// concurrent clients. This test checks result stability under
+// concurrency (run with -race in CI to check memory safety too).
+func TestConcurrentQueriesStable(t *testing.T) {
+	tree, set := buildTestTree(t, 1000, 12, 201)
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 203)
+
+	type job struct {
+		rq query.Range
+		tq query.TopK
+		pq query.Point
+	}
+	jobs := make([]job, 40)
+	for i := range jobs {
+		jobs[i] = job{
+			rq: gen.Range(0.05),
+			tq: gen.TopK(8),
+			pq: query.Point{Filename: set.Files[(i*29)%len(set.Files)].Path},
+		}
+	}
+	// Sequential reference answers.
+	wantRange := make([][]uint64, len(jobs))
+	wantTopK := make([][]uint64, len(jobs))
+	wantPoint := make([][]uint64, len(jobs))
+	for i, j := range jobs {
+		wantRange[i], _ = tree.RangeQuery(j.rq)
+		wantTopK[i], _ = tree.TopKQuery(j.tq)
+		wantPoint[i], _ = tree.PointQuery(j.pq)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*len(jobs))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, j := range jobs {
+				if got, _ := tree.RangeQuery(j.rq); !sameIDs(got, wantRange[i]) {
+					errs <- "range answer changed under concurrency"
+					return
+				}
+				if got, _ := tree.TopKQuery(j.tq); !sameIDs(got, wantTopK[i]) {
+					errs <- "topk answer changed under concurrency"
+					return
+				}
+				if got, _ := tree.PointQuery(j.pq); !sameIDs(got, wantPoint[i]) {
+					errs <- "point answer changed under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// PlaceSemantic's parallel vector computation must be deterministic:
+// repeated placements of the same corpus are identical.
+func TestPlaceSemanticDeterministicUnderParallelism(t *testing.T) {
+	set := testCorpus(t, 5000, 205) // above the parallelFor threshold
+	attrs := trace.DefaultQueryAttrs()
+	a := PlaceSemantic(set.Files, 16, set.Norm, attrs)
+	b := PlaceSemantic(set.Files, 16, set.Norm, attrs)
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatalf("unit %d sizes differ: %d vs %d", i, a[i].Len(), b[i].Len())
+		}
+		for j := range a[i].Files {
+			if a[i].Files[j].ID != b[i].Files[j].ID {
+				t.Fatalf("unit %d file %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkPlaceSemantic10k(b *testing.B) {
+	set := trace.MSN().Generate(10000, 207)
+	attrs := trace.DefaultQueryAttrs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlaceSemantic(set.Files, 60, set.Norm, attrs)
+	}
+}
+
+func BenchmarkBuild60Units(b *testing.B) {
+	set := trace.MSN().Generate(3000, 209)
+	attrs := trace.DefaultQueryAttrs()
+	units := PlaceSemantic(set.Files, 60, set.Norm, attrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(cloneUnits(units), set.Norm, Config{Attrs: attrs})
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	tree, set := buildTestTree(b, 3000, 60, 211)
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 213)
+	queries := make([]query.Range, 64)
+	for i := range queries {
+		queries[i] = gen.Range(0.05)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeQuery(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkTopKQuery(b *testing.B) {
+	tree, set := buildTestTree(b, 3000, 60, 215)
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 217)
+	queries := make([]query.TopK, 64)
+	for i := range queries {
+		queries[i] = gen.TopK(8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.TopKQuery(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	tree, set := buildTestTree(b, 3000, 60, 219)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.PointQuery(query.Point{Filename: set.Files[i%len(set.Files)].Path})
+	}
+}

@@ -1,0 +1,475 @@
+package semtree
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/lsi"
+	"repro/internal/metadata"
+)
+
+// parallelFor runs fn(i) for i in [0, n) across cores when n is large.
+// Work is index-addressed, so results are identical to the sequential
+// loop.
+func parallelFor(n int, fn func(i int)) {
+	const threshold = 2048
+	if n < threshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PlaceSemantic distributes files across nUnits storage units by
+// semantic correlation with approximately equal group sizes (Statement
+// 1 of §3.1.1): an LSI model is fitted over the file vectors, files are
+// ordered along the dominant semantic directions, and the order is cut
+// into nUnits equal contiguous chunks. Files that are adjacent in the
+// semantic subspace — and therefore likely to satisfy the same complex
+// query — land in the same unit.
+//
+// The sort key quantizes the LSI components and orders them by
+// *skewness*: components whose mass collapses into one bucket (the
+// hot/cold split of behavioural attributes) come first — they separate
+// the correlated hot tail into its own region without perturbing the
+// bulk, which then sorts along the smooth components (timestamps).
+// This is what clusters correlated files together and yields the high
+// Zipf-query recall of §5.4.2 while keeping range recall high for the
+// bulk of the population.
+func PlaceSemantic(files []*metadata.File, nUnits int, norm *metadata.Normalizer, attrs []metadata.Attr) []*StorageUnit {
+	if nUnits < 1 {
+		panic("semtree: need at least one storage unit")
+	}
+	vectors := make([][]float64, len(files))
+	parallelFor(len(files), func(i int) {
+		vectors[i] = norm.Vector(files[i], attrs)
+	})
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	if len(files) > 1 {
+		model, err := lsi.Fit(vectors, 0)
+		if err == nil {
+			keys := quantizedKeys(model, len(files))
+			sort.SliceStable(order, func(a, b int) bool {
+				ka, kb := keys[order[a]], keys[order[b]]
+				for d := range ka {
+					if ka[d] != kb[d] {
+						return ka[d] < kb[d]
+					}
+				}
+				return files[order[a]].ID < files[order[b]].ID
+			})
+		}
+	}
+	return cutIntoUnits(files, order, nUnits)
+}
+
+// placementBuckets is the quantization granularity of the leading LSI
+// components in the placement sort key.
+const placementBuckets = 6
+
+// quantizedKeys converts each item's LSI coordinates into a
+// lexicographic sort key: every component is quantized into coarse
+// buckets, components are ordered by descending skewness (fraction of
+// items in the modal bucket), and the smoothest component is appended
+// continuously as the final tie-break.
+//
+// Skew-first ordering makes rare-valued components act as region
+// splitters — the hot tail of behavioural attributes separates into its
+// own contiguous region — while the bulk of the population, which ties
+// on every skewed component, sorts along the smooth component
+// (typically modification time). Both query regimes then enjoy
+// locality: broad range windows over the bulk and tight neighbourhoods
+// around hot files.
+func quantizedKeys(model *lsi.Model, n int) [][]float64 {
+	p := model.Rank()
+	mins := make([]float64, p)
+	maxs := make([]float64, p)
+	for i := 0; i < n; i++ {
+		v := model.ItemVector(i)
+		for d := 0; d < p; d++ {
+			if i == 0 || v[d] < mins[d] {
+				mins[d] = v[d]
+			}
+			if i == 0 || v[d] > maxs[d] {
+				maxs[d] = v[d]
+			}
+		}
+	}
+	bucketOf := func(v float64, d int) int {
+		span := maxs[d] - mins[d]
+		if span <= 0 {
+			return 0
+		}
+		b := int((v - mins[d]) / span * placementBuckets)
+		if b >= placementBuckets {
+			b = placementBuckets - 1
+		}
+		return b
+	}
+	// Skewness per component: modal-bucket fraction.
+	skew := make([]float64, p)
+	for d := 0; d < p; d++ {
+		counts := make([]int, placementBuckets)
+		for i := 0; i < n; i++ {
+			counts[bucketOf(model.ItemVector(i)[d], d)]++
+		}
+		mode := 0
+		for _, c := range counts {
+			if c > mode {
+				mode = c
+			}
+		}
+		skew[d] = float64(mode) / float64(n)
+	}
+	dims := make([]int, p)
+	for d := range dims {
+		dims[d] = d
+	}
+	sort.SliceStable(dims, func(a, b int) bool { return skew[dims[a]] > skew[dims[b]] })
+
+	keys := make([][]float64, n)
+	smoothest := dims[len(dims)-1]
+	for i := 0; i < n; i++ {
+		v := model.ItemVector(i)
+		key := make([]float64, 0, p+1)
+		for _, d := range dims {
+			key = append(key, float64(bucketOf(v[d], d)))
+		}
+		key = append(key, v[smoothest]) // continuous final tie-break
+		keys[i] = key
+	}
+	return keys
+}
+
+// PlaceRoundRobin distributes files across units ignoring semantics —
+// the directory-tree-like placement the paper's baselines embody. It
+// exists for ablation benches that quantify what semantic placement
+// buys (grouping efficiency, Fig. 8).
+func PlaceRoundRobin(files []*metadata.File, nUnits int) []*StorageUnit {
+	if nUnits < 1 {
+		panic("semtree: need at least one storage unit")
+	}
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	units := make([]*StorageUnit, nUnits)
+	buckets := make([][]*metadata.File, nUnits)
+	for i, idx := range order {
+		u := i % nUnits
+		buckets[u] = append(buckets[u], files[idx])
+	}
+	for i := range units {
+		units[i] = NewStorageUnit(i, buckets[i])
+	}
+	return units
+}
+
+func cutIntoUnits(files []*metadata.File, order []int, nUnits int) []*StorageUnit {
+	units := make([]*StorageUnit, nUnits)
+	n := len(files)
+	for u := 0; u < nUnits; u++ {
+		lo := u * n / nUnits
+		hi := (u + 1) * n / nUnits
+		chunk := make([]*metadata.File, 0, hi-lo)
+		for _, idx := range order[lo:hi] {
+			chunk = append(chunk, files[idx])
+		}
+		units[u] = NewStorageUnit(u, chunk)
+	}
+	return units
+}
+
+// groupOnce aggregates nodes into parent groups at one tree level
+// (§3.1.2): pairs of nodes whose LSI correlation exceeds the admission
+// threshold eps are merged, each node joining the partner with the
+// largest correlation value, subject to the fan-out cap maxChildren.
+// Nodes left unmatched become singleton groups. The function guarantees
+// progress: if thresholding produces no reduction, sequential chunks of
+// up to maxChildren nodes are merged instead, so recursion always
+// reaches a single root.
+func groupOnce(nodes []*Node, eps float64, maxChildren int) [][]*Node {
+	n := len(nodes)
+	if n <= 1 {
+		out := make([][]*Node, 0, n)
+		for _, nd := range nodes {
+			out = append(out, []*Node{nd})
+		}
+		return out
+	}
+
+	vectors := make([][]float64, n)
+	for i, nd := range nodes {
+		vectors[i] = nd.Vector
+	}
+	model, err := lsi.Fit(centerVectors(vectors), 0)
+
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	var groups [][]int
+
+	if err == nil {
+		sims := model.PairwiseDistanceCorrelations()
+		type pair struct {
+			i, j int
+			sim  float64
+		}
+		var pairs []pair
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if s := sims.At(i, j); s > eps {
+					pairs = append(pairs, pair{i, j, s})
+				}
+			}
+		}
+		// Highest correlation first (§3.1.2: "the one with the largest
+		// correlation value will be chosen").
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].sim != pairs[b].sim {
+				return pairs[a].sim > pairs[b].sim
+			}
+			if pairs[a].i != pairs[b].i {
+				return pairs[a].i < pairs[b].i
+			}
+			return pairs[a].j < pairs[b].j
+		})
+		for _, p := range pairs {
+			gi, gj := groupOf[p.i], groupOf[p.j]
+			switch {
+			case gi == -1 && gj == -1:
+				groupOf[p.i] = len(groups)
+				groupOf[p.j] = len(groups)
+				groups = append(groups, []int{p.i, p.j})
+			case gi == -1 && gj != -1:
+				if len(groups[gj]) < maxChildren {
+					groupOf[p.i] = gj
+					groups[gj] = append(groups[gj], p.i)
+				}
+			case gi != -1 && gj == -1:
+				if len(groups[gi]) < maxChildren {
+					groupOf[p.j] = gi
+					groups[gi] = append(groups[gi], p.j)
+				}
+			}
+		}
+	}
+	// Unmatched nodes become singletons.
+	for i := range nodes {
+		if groupOf[i] == -1 {
+			groupOf[i] = len(groups)
+			groups = append(groups, []int{i})
+		}
+	}
+
+	if len(groups) >= n {
+		// No reduction — force progress by chunking sequential nodes.
+		groups = groups[:0]
+		for lo := 0; lo < n; lo += maxChildren {
+			hi := lo + maxChildren
+			if hi > n {
+				hi = n
+			}
+			chunk := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				chunk = append(chunk, i)
+			}
+			groups = append(groups, chunk)
+		}
+	}
+
+	out := make([][]*Node, len(groups))
+	for g, idxs := range groups {
+		members := make([]*Node, len(idxs))
+		for k, i := range idxs {
+			members[k] = nodes[i]
+		}
+		out[g] = members
+	}
+	return out
+}
+
+// SampleThreshold estimates the initial admission threshold by sampling
+// analysis (§3.2.1: "The initial value of this threshold is determined
+// by a sampling analysis"): it computes pairwise LSI correlations over
+// the node vectors and returns the given quantile (0–1). Higher
+// quantiles produce tighter, more numerous groups.
+func SampleThreshold(vectors [][]float64, quantile float64) float64 {
+	n := len(vectors)
+	if n < 2 {
+		return 0.5
+	}
+	model, err := lsi.Fit(centerVectors(vectors), 0)
+	if err != nil {
+		return 0.5
+	}
+	sims := model.PairwiseDistanceCorrelations()
+	var all []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			all = append(all, sims.At(i, j))
+		}
+	}
+	sort.Float64s(all)
+	if quantile < 0 {
+		quantile = 0
+	}
+	if quantile > 1 {
+		quantile = 1
+	}
+	idx := int(quantile * float64(len(all)-1))
+	return all[idx]
+}
+
+// OptimalThreshold sweeps candidate admission thresholds and returns
+// the one whose grouping best realizes the semantic-correlation
+// objective of §1.1/§5.5: members should sit close to their own group
+// centroid (small Σ (fj − Ci)²) while groups stay mutually separated.
+// The score is a silhouette-style quality — mean over nodes of
+// (b − a) / max(a, b), with a the distance to the node's own group
+// centroid and b the distance to the nearest other group's centroid —
+// which peaks at an interior threshold: too-low thresholds merge
+// unrelated nodes (a grows), too-high thresholds shatter natural groups
+// (b shrinks). It is the quantity Fig. 11 plots against system scale
+// and tree level. Higher scores are better.
+func OptimalThreshold(nodes []*Node, candidates []float64, maxChildren int) (best float64, bestScore float64) {
+	if len(candidates) == 0 {
+		panic("semtree: no candidate thresholds")
+	}
+	best = candidates[0]
+	bestScore = -2 // silhouette lower bound is −1
+	for _, eps := range candidates {
+		groups := groupOnce(nodes, eps, maxChildren)
+		score := silhouette(groups)
+		if score > bestScore {
+			best, bestScore = eps, score
+		}
+	}
+	return best, bestScore
+}
+
+// centerVectors subtracts the per-dimension mean so cosine correlations
+// spread over their full range instead of compressing near 1 (all
+// normalized attribute vectors share a large positive common
+// component). Grouping, threshold sampling and threshold optimization
+// all measure correlation in this centered space.
+func centerVectors(vectors [][]float64) [][]float64 {
+	n := len(vectors)
+	if n == 0 {
+		return vectors
+	}
+	dim := len(vectors[0])
+	mean := make([]float64, dim)
+	for _, v := range vectors {
+		for i, x := range v {
+			mean[i] += x
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	out := make([][]float64, n)
+	for j, v := range vectors {
+		c := make([]float64, dim)
+		for i, x := range v {
+			c[i] = x - mean[i]
+		}
+		out[j] = c
+	}
+	return out
+}
+
+// silhouette scores a grouping in [−1, 1]: the mean over nodes of
+// (b − a)/max(a, b) where a is the distance to the node's own group
+// centroid and b the distance to the nearest other centroid. A single
+// group scores 0 (no separation evidence).
+func silhouette(groups [][]*Node) float64 {
+	if len(groups) < 2 {
+		return 0
+	}
+	centroids := make([][]float64, len(groups))
+	for g, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		dim := len(members[0].Vector)
+		c := make([]float64, dim)
+		for _, nd := range members {
+			for i, v := range nd.Vector {
+				c[i] += v
+			}
+		}
+		inv := 1 / float64(len(members))
+		for i := range c {
+			c[i] *= inv
+		}
+		centroids[g] = c
+	}
+	var sum float64
+	var n int
+	for g, members := range groups {
+		for _, nd := range members {
+			a := vecDist(nd.Vector, centroids[g])
+			b := -1.0
+			for h, c := range centroids {
+				if h == g || c == nil {
+					continue
+				}
+				if d := vecDist(nd.Vector, c); b < 0 || d < b {
+					b = d
+				}
+			}
+			if b < 0 {
+				continue
+			}
+			den := a
+			if b > den {
+				den = b
+			}
+			if den > 0 {
+				sum += (b - a) / den
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DefaultThresholdQuantile is the sampling quantile used when the caller
+// does not supply explicit thresholds.
+const DefaultThresholdQuantile = 0.75
+
+// levelThreshold derives the admission threshold for tree level i ≥ 1
+// from the base threshold: deeper (higher) levels relax the threshold
+// geometrically, since index-unit centroids are progressively smoother
+// (ε_i = ε₁ · decayⁱ⁻¹).
+func levelThreshold(base float64, level int) float64 {
+	eps := base
+	for i := 1; i < level; i++ {
+		eps *= 0.9
+	}
+	return eps
+}

@@ -1,0 +1,131 @@
+// Package snapshot persists and restores a SmartStore deployment: the
+// storage-unit partition (which files live on which metadata server),
+// the fitted attribute normalizer, and the construction configuration.
+// Restoring rebuilds the semantic R-tree deterministically from the
+// persisted partition, so a restored store answers queries identically
+// to the one that was saved.
+//
+// The format is Go gob over a versioned envelope, suitable for the
+// metadata checkpointing a next-generation file system would perform at
+// reconfiguration points (§4.4 removes versions "when reconfiguring
+// index units" — a natural snapshot boundary).
+package snapshot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/metadata"
+	"repro/internal/semtree"
+)
+
+// FormatVersion guards against decoding snapshots from incompatible
+// builds.
+const FormatVersion = 1
+
+// Snapshot is the persisted form of a deployment.
+type Snapshot struct {
+	Version int
+	// Attrs is the grouping predicate of the persisted tree.
+	Attrs []metadata.Attr
+	// BaseThreshold, MaxChildren, MinChildren mirror semtree.Config.
+	BaseThreshold float64
+	MaxChildren   int
+	MinChildren   int
+	// NormLo/NormHi/NormFitted persist the fitted normalizer's state
+	// explicitly (its fitted flag is unexported and would be lost to
+	// gob otherwise).
+	NormLo, NormHi [metadata.NumAttrs]float64
+	NormFitted     bool
+	// Units holds each storage unit's id and file records.
+	Units []UnitRecord
+}
+
+// UnitRecord is one storage unit's persisted content.
+type UnitRecord struct {
+	ID    int
+	Files []metadata.File
+}
+
+// Capture extracts a snapshot from a built tree.
+func Capture(t *semtree.Tree) *Snapshot {
+	s := &Snapshot{
+		Version:       FormatVersion,
+		Attrs:         append([]metadata.Attr(nil), t.Attrs...),
+		BaseThreshold: t.Config.BaseThreshold,
+		MaxChildren:   t.Config.MaxChildren,
+		MinChildren:   t.Config.MinChildren,
+		NormLo:        t.Norm.Lo,
+		NormHi:        t.Norm.Hi,
+		NormFitted:    t.Norm.Fitted(),
+	}
+	for _, u := range t.Units() {
+		rec := UnitRecord{ID: u.ID, Files: make([]metadata.File, len(u.Files))}
+		for i, f := range u.Files {
+			rec.Files[i] = *f
+		}
+		s.Units = append(s.Units, rec)
+	}
+	return s
+}
+
+// Write encodes the snapshot to w.
+func (s *Snapshot) Write(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a snapshot from r, validating the format version.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: format version %d, want %d", s.Version, FormatVersion)
+	}
+	if len(s.Units) == 0 {
+		return nil, fmt.Errorf("snapshot: no storage units")
+	}
+	return &s, nil
+}
+
+// Restore rebuilds the semantic R-tree from the persisted partition.
+// The tree is structurally regenerated (grouping is deterministic given
+// the same units, normalizer and config), so every persisted file is
+// findable in the restored tree.
+func (s *Snapshot) Restore() (*semtree.Tree, error) {
+	units := make([]*semtree.StorageUnit, len(s.Units))
+	for i, rec := range s.Units {
+		files := make([]*metadata.File, len(rec.Files))
+		for j := range rec.Files {
+			f := rec.Files[j]
+			files[j] = &f
+		}
+		units[i] = semtree.NewStorageUnit(rec.ID, files)
+	}
+	norm := metadata.RestoreNormalizer(s.NormLo, s.NormHi, s.NormFitted)
+	cfg := semtree.Config{
+		Attrs:         s.Attrs,
+		BaseThreshold: s.BaseThreshold,
+		MaxChildren:   s.MaxChildren,
+		MinChildren:   s.MinChildren,
+	}
+	tree := semtree.Build(units, norm, cfg)
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("snapshot: restored tree invalid: %w", err)
+	}
+	return tree, nil
+}
+
+// FileCount returns the number of persisted file records.
+func (s *Snapshot) FileCount() int {
+	n := 0
+	for _, u := range s.Units {
+		n += len(u.Files)
+	}
+	return n
+}

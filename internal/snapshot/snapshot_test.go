@@ -1,0 +1,147 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func buildTree(t *testing.T, n, units int, seed uint64) (*semtree.Tree, *trace.Set) {
+	t.Helper()
+	set := trace.MSN().Generate(n, seed)
+	attrs := trace.DefaultQueryAttrs()
+	us := semtree.PlaceSemantic(set.Files, units, set.Norm, attrs)
+	return semtree.Build(us, set.Norm, semtree.Config{Attrs: attrs}), set
+}
+
+func TestRoundTrip(t *testing.T) {
+	tree, set := buildTree(t, 400, 8, 1)
+	snap := Capture(tree)
+	if snap.FileCount() != 400 {
+		t.Fatalf("FileCount = %d, want 400", snap.FileCount())
+	}
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := back.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalFiles() != 400 {
+		t.Fatalf("restored files = %d, want 400", restored.TotalFiles())
+	}
+	if len(restored.Leaves()) != len(tree.Leaves()) {
+		t.Fatalf("restored units = %d, want %d", len(restored.Leaves()), len(tree.Leaves()))
+	}
+	// Reconstruction is deterministic: the restored tree has the same
+	// shape (this regressed once when the normalizer's fitted flag was
+	// lost to gob and grouping silently degraded).
+	s1, i1 := tree.CountNodes()
+	s2, i2 := restored.CountNodes()
+	if s1 != s2 || i1 != i2 {
+		t.Fatalf("restored shape %d/%d, want %d/%d", s2, i2, s1, i1)
+	}
+	if tree.Height() != restored.Height() {
+		t.Fatalf("restored height %d, want %d", restored.Height(), tree.Height())
+	}
+
+	// Every file answerable before is answerable after.
+	for i := 0; i < 50; i++ {
+		f := set.Files[(i*31)%len(set.Files)]
+		got, _ := restored.PointQuery(query.Point{Filename: f.Path})
+		found := false
+		for _, id := range got {
+			if id == f.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("restored tree cannot find %q", f.Path)
+		}
+	}
+}
+
+func TestRestoredAnswersMatchOriginal(t *testing.T) {
+	tree, set := buildTree(t, 500, 10, 3)
+	var buf bytes.Buffer
+	if err := Capture(tree).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewQueryGen(set, stats.Zipf, nil, 5)
+	for i := 0; i < 25; i++ {
+		q := gen.Range(0.08)
+		a, _ := tree.RangeQuery(q)
+		b, _ := restored.RangeQuery(q)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: original %d results, restored %d", i, len(a), len(b))
+		}
+		set1 := map[uint64]bool{}
+		for _, id := range a {
+			set1[id] = true
+		}
+		for _, id := range b {
+			if !set1[id] {
+				t.Fatalf("query %d: restored returned extra id %d", i, id)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	tree, _ := buildTree(t, 50, 4, 7)
+	snap := Capture(tree)
+	snap.Version = 99
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("Read accepted wrong format version")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+}
+
+func TestReadRejectsEmptyUnits(t *testing.T) {
+	snap := &Snapshot{Version: FormatVersion}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("Read accepted snapshot without units")
+	}
+}
+
+func TestCaptureIsDeepCopy(t *testing.T) {
+	tree, set := buildTree(t, 100, 4, 9)
+	snap := Capture(tree)
+	// Mutating the live tree must not affect the captured snapshot.
+	orig := snap.Units[0].Files[0].Attrs
+	set.Files[0].Attrs[0] = -12345
+	if snap.Units[0].Files[0].Attrs != orig {
+		t.Fatal("snapshot shares file storage with the live tree")
+	}
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	cases := map[Distribution]string{Uniform: "Uniform", Gauss: "Gauss", Zipf: "Zipf"}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("String() = %q, want %q", d.String(), want)
+		}
+	}
+	if Distribution(9).String() != "Distribution(9)" {
+		t.Errorf("unknown distribution String() = %q", Distribution(9).String())
+	}
+}
+
+func TestSamplerInRange(t *testing.T) {
+	for _, d := range Distributions {
+		s := NewSampler(d, NewRNG(uint64(d)+1))
+		for i := 0; i < 2000; i++ {
+			v := s.Sample(10, 20)
+			if v < 10 || v > 20 {
+				t.Fatalf("%v sample %v outside [10,20]", d, v)
+			}
+		}
+	}
+}
+
+func TestSamplerDegenerateRange(t *testing.T) {
+	s := NewSampler(Uniform, NewRNG(1))
+	if v := s.Sample(5, 5); v != 5 {
+		t.Fatalf("Sample(5,5) = %v, want 5", v)
+	}
+	// Reversed bounds should be tolerated.
+	v := s.Sample(20, 10)
+	if v < 10 || v > 20 {
+		t.Fatalf("reversed-bounds sample %v outside [10,20]", v)
+	}
+}
+
+func TestGaussConcentratesMidRange(t *testing.T) {
+	s := NewSampler(Gauss, NewRNG(7))
+	var sum Summary
+	for i := 0; i < 5000; i++ {
+		sum.Add(s.Sample(0, 100))
+	}
+	if m := sum.Mean(); math.Abs(m-50) > 3 {
+		t.Fatalf("Gauss mean = %v, want ≈50", m)
+	}
+	if sd := sum.StdDev(); sd > 25 {
+		t.Fatalf("Gauss stddev = %v, want well under uniform's ~28.9", sd)
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	s := NewSampler(Zipf, NewRNG(9))
+	low := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if s.Sample(0, 100) < 20 {
+			low++
+		}
+	}
+	// Under Zipf skew far more than 20% of the mass is in the low fifth.
+	if frac := float64(low) / float64(n); frac < 0.5 {
+		t.Fatalf("Zipf low-fifth fraction = %v, want > 0.5", frac)
+	}
+}
+
+func TestZipfGenMonotoneCDF(t *testing.T) {
+	z := NewZipfGen(NewRNG(3), 1.0, 64)
+	counts := make([]int, 64)
+	for i := 0; i < 20000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 64 {
+			t.Fatalf("Zipf index %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[32] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[32]=%d", counts[0], counts[32])
+	}
+}
+
+func TestZipfGenPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipfGen(.., 0) did not panic")
+		}
+	}()
+	NewZipfGen(NewRNG(1), 1.0, 0)
+}
+
+func TestLognormalPositive(t *testing.T) {
+	rng := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if v := Lognormal(rng, 10, 2); v <= 0 {
+			t.Fatalf("Lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	cases := []struct {
+		truth, answer []uint64
+		want          float64
+	}{
+		{nil, nil, 1},
+		{nil, []uint64{1}, 1},
+		{[]uint64{1, 2, 3, 4}, []uint64{1, 2}, 0.5},
+		{[]uint64{1, 2}, []uint64{1, 2, 3, 4}, 1},
+		{[]uint64{5}, []uint64{6}, 0},
+		{[]uint64{1, 2, 3}, []uint64{3, 2, 1}, 1},
+	}
+	for i, c := range cases {
+		if got := Recall(c.truth, c.answer); got != c.want {
+			t.Errorf("case %d: Recall = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRecallPropertyBounds(t *testing.T) {
+	f := func(truth, answer []uint64) bool {
+		r := Recall(truth, answer)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallPropertySupersetAnswer(t *testing.T) {
+	// An answer that contains all of truth has recall exactly 1.
+	f := func(truth []uint64, extra []uint64) bool {
+		answer := append(append([]uint64{}, truth...), extra...)
+		return Recall(truth, answer) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary should be zero-valued")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(3)
+	for _, v := range []int{0, 0, 1, 2, 5, -1} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(0) != 3 { // two zeros + clamped -1
+		t.Fatalf("Count(0) = %d, want 3", h.Count(0))
+	}
+	if h.Count(2) != 2 { // one 2 + clamped 5
+		t.Fatalf("Count(2) = %d, want 2", h.Count(2))
+	}
+	if got := h.Fraction(1); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("Fraction(1) = %v, want 1/6", got)
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty histogram Fraction should be 0")
+	}
+}
+
+func TestHistogramPanicsOnZeroBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/stats"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 3 {
+		t.Fatalf("Specs() returned %d, want 3", len(specs))
+	}
+	wantNames := []string{"HP", "MSN", "EECS"}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Fatalf("spec %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+		if len(s.Stats) != 5 {
+			t.Fatalf("%s has %d stats rows, want 5 (per paper tables)", s.Name, len(s.Stats))
+		}
+		if s.DefaultTIF <= 0 {
+			t.Fatalf("%s DefaultTIF = %d", s.Name, s.DefaultTIF)
+		}
+	}
+}
+
+func TestPublishedScaleFactors(t *testing.T) {
+	// Tables 1–3: scaled = original × TIF for the headline counters.
+	for _, s := range Specs() {
+		for _, st := range s.Stats {
+			ratio := st.Scaled / st.Original
+			if ratio < float64(s.DefaultTIF)*0.99 || ratio > float64(s.DefaultTIF)*1.01 {
+				t.Errorf("%s %q: scaled/original = %v, want ≈ %d", s.Name, st.Label, ratio, s.DefaultTIF)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("MSN")
+	if err != nil || s.Name != "MSN" {
+		t.Fatalf("ByName(MSN) = %v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MSN().Generate(200, 7)
+	b := MSN().Generate(200, 7)
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Files {
+		if a.Files[i].Path != b.Files[i].Path || a.Files[i].Attrs != b.Files[i].Attrs {
+			t.Fatalf("file %d differs between identical seeds", i)
+		}
+	}
+	c := MSN().Generate(200, 8)
+	same := true
+	for i := range a.Files {
+		if a.Files[i].Attrs != c.Files[i].Attrs {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestGeneratePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(0) did not panic")
+		}
+	}()
+	HP().Generate(0, 1)
+}
+
+func TestGeneratedAttributesPlausible(t *testing.T) {
+	for _, spec := range Specs() {
+		set := spec.Generate(500, 42)
+		var accessed, sized int
+		for _, f := range set.Files {
+			if f.Attrs[metadata.AttrSize] <= 0 {
+				t.Fatalf("%s: non-positive size", spec.Name)
+			}
+			sized++
+			if f.Attrs[metadata.AttrCTime] < 0 || f.Attrs[metadata.AttrCTime] > spec.DurationSec {
+				t.Fatalf("%s: ctime %v outside trace duration", spec.Name, f.Attrs[metadata.AttrCTime])
+			}
+			if f.Attrs[metadata.AttrMTime] < f.Attrs[metadata.AttrCTime] {
+				t.Fatalf("%s: mtime before ctime", spec.Name)
+			}
+			if f.Attrs[metadata.AttrAccessFreq] > 0 {
+				accessed++
+			}
+			if f.Attrs[metadata.AttrReadBytes] < 0 || f.Attrs[metadata.AttrWriteBytes] < 0 {
+				t.Fatalf("%s: negative I/O volume", spec.Name)
+			}
+		}
+		if accessed < 100 {
+			t.Fatalf("%s: only %d/500 files accessed; request replay broken?", spec.Name, accessed)
+		}
+		if !set.Norm.Fitted() {
+			t.Fatalf("%s: normalizer not fitted", spec.Name)
+		}
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	// Zipf popularity: the top decile of files by access count should
+	// absorb a large share of requests (cf. Filecules: 45% of requests
+	// visit 6.5% of files).
+	set := MSN().Generate(1000, 3)
+	var freqs []float64
+	var total float64
+	for _, f := range set.Files {
+		freqs = append(freqs, f.Attrs[metadata.AttrAccessFreq])
+		total += f.Attrs[metadata.AttrAccessFreq]
+	}
+	// top 10% by frequency
+	top := 0.0
+	for i := 0; i < 100; i++ {
+		max, arg := -1.0, -1
+		for j, v := range freqs {
+			if v > max {
+				max, arg = v, j
+			}
+		}
+		top += max
+		freqs[arg] = -2
+	}
+	if share := top / total; share < 0.4 {
+		t.Fatalf("top-10%% files take %v of requests, want ≥ 0.4 (Zipf skew)", share)
+	}
+}
+
+func TestScaleReplication(t *testing.T) {
+	base := EECS().Generate(100, 5)
+	scaled := base.Scale(4)
+	if scaled.TIF != 4 {
+		t.Fatalf("TIF = %d, want 4", scaled.TIF)
+	}
+	if len(scaled.Files) != 400 {
+		t.Fatalf("scaled files = %d, want 400", len(scaled.Files))
+	}
+	// IDs unique.
+	seen := map[uint64]bool{}
+	for _, f := range scaled.Files {
+		if seen[f.ID] {
+			t.Fatalf("duplicate id %d after scaling", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	// Sub-trace IDs present in paths, histogram preserved.
+	subCount := map[int]int{}
+	for _, f := range scaled.Files {
+		subCount[f.SubTrace]++
+		if !strings.HasPrefix(f.Path, "/sub") {
+			t.Fatalf("path %q lacks sub-trace prefix", f.Path)
+		}
+	}
+	for sub, c := range subCount {
+		if c != 100 {
+			t.Fatalf("sub-trace %d has %d files, want 100", sub, c)
+		}
+	}
+	// Attribute histogram identical: every base attribute vector appears
+	// exactly TIF times.
+	if scaled.Files[0].Attrs != base.Files[0].Attrs {
+		t.Fatal("scaling altered attribute values")
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	base := HP().Generate(50, 1)
+	if got := base.Scale(1); got != base {
+		t.Fatal("Scale(1) should return the receiver")
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale(0) did not panic")
+		}
+	}()
+	HP().Generate(10, 1).Scale(0)
+}
+
+func TestGenerateScaled(t *testing.T) {
+	set := MSN().GenerateScaled(50, 3, 9)
+	if len(set.Files) != 150 || set.TIF != 3 {
+		t.Fatalf("GenerateScaled = %d files TIF %d", len(set.Files), set.TIF)
+	}
+}
+
+func TestQueryGenRangeWithinBounds(t *testing.T) {
+	set := MSN().Generate(300, 11)
+	for _, dist := range stats.Distributions {
+		g := NewQueryGen(set, dist, nil, 13)
+		for i := 0; i < 100; i++ {
+			r := g.Range(0.1)
+			for d, a := range r.Attrs {
+				lo, hi := set.Norm.Bounds(a)
+				if r.Lo[d] < lo-1e-9 || r.Hi[d] > hi+1e-9 {
+					t.Fatalf("%v range [%v,%v] outside attr bounds [%v,%v]",
+						dist, r.Lo[d], r.Hi[d], lo, hi)
+				}
+				if r.Hi[d] < r.Lo[d] {
+					t.Fatal("inverted range")
+				}
+			}
+		}
+	}
+}
+
+func TestQueryGenTopK(t *testing.T) {
+	set := EECS().Generate(300, 17)
+	g := NewQueryGen(set, stats.Zipf, nil, 19)
+	q := g.TopK(8)
+	if q.K != 8 || len(q.Point) != len(DefaultQueryAttrs()) {
+		t.Fatalf("TopK = %+v", q)
+	}
+	for d, a := range q.Attrs {
+		lo, hi := set.Norm.Bounds(a)
+		if q.Point[d] < lo || q.Point[d] > hi {
+			t.Fatalf("topk point outside bounds")
+		}
+	}
+}
+
+func TestQueryGenPoint(t *testing.T) {
+	set := HP().Generate(100, 23)
+	g := NewQueryGen(set, stats.Uniform, nil, 29)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		p := g.Point(0.8)
+		if !strings.HasPrefix(p.Filename, "/absent/") {
+			hits++
+		}
+	}
+	if hits < 700 || hits > 900 {
+		t.Fatalf("hit fraction %d/1000, want ≈ 800", hits)
+	}
+}
+
+func TestQueryGenCustomAttrs(t *testing.T) {
+	set := HP().Generate(100, 31)
+	attrs := []metadata.Attr{metadata.AttrSize}
+	g := NewQueryGen(set, stats.Uniform, attrs, 37)
+	r := g.Range(0.2)
+	if len(r.Attrs) != 1 || r.Attrs[0] != metadata.AttrSize {
+		t.Fatalf("custom attrs not honoured: %+v", r.Attrs)
+	}
+}

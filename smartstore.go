@@ -1,0 +1,347 @@
+// Package smartstore is a Go implementation of SmartStore — the
+// decentralized, semantic-aware file-system metadata organization of
+// Hua, Jiang, Zhu, Feng and Tian (SC'09) — together with the substrates
+// and baselines needed to reproduce the paper's evaluation.
+//
+// Instead of a directory tree, SmartStore groups file metadata by the
+// semantic correlation of its multi-dimensional attributes, measured
+// with Latent Semantic Indexing over an SVD. Correlated files aggregate
+// into storage units (leaves of a semantic R-tree); storage units
+// aggregate into index units carrying Minimum Bounding Rectangles and
+// unioned Bloom filters. Complex queries — multi-dimensional range and
+// top-k nearest-neighbour — are served by one or a small number of
+// semantic groups rather than by brute-force search of every server.
+//
+// # Quick start
+//
+//	set := smartstore.GenerateTrace("MSN", 10000, 42)
+//	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 60})
+//	if err != nil { ... }
+//	ids, rep := store.RangeQuery(
+//	    []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes},
+//	    []float64{36000, 30e6}, []float64{59000, 50e6})
+//	fmt.Println(len(ids), rep.Latency)
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the system inventory and experiment index.
+package smartstore
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metadata"
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Attr identifies a metadata attribute dimension (file size, creation
+// time, ..., access frequency).
+type Attr = metadata.Attr
+
+// Attribute constants re-exported from the metadata schema.
+const (
+	AttrSize       = metadata.AttrSize
+	AttrCTime      = metadata.AttrCTime
+	AttrMTime      = metadata.AttrMTime
+	AttrATime      = metadata.AttrATime
+	AttrReadBytes  = metadata.AttrReadBytes
+	AttrWriteBytes = metadata.AttrWriteBytes
+	AttrAccessFreq = metadata.AttrAccessFreq
+	NumAttrs       = metadata.NumAttrs
+)
+
+// File is one file's metadata record.
+type File = metadata.File
+
+// TraceSet is a generated workload (see GenerateTrace).
+type TraceSet = trace.Set
+
+// Mode selects the complex-query execution path of §3.3–3.4.
+type Mode int
+
+const (
+	// OffLine routes a query directly to its most-correlated semantic
+	// group using locally replicated index-unit vectors (§3.4). Fast and
+	// message-frugal; recall bounded by grouping quality.
+	OffLine Mode = iota
+	// OnLine multicasts the query to every first-level group host
+	// (§3.3). Exact on the propagated snapshot; more messages.
+	OnLine
+)
+
+// Config parameterizes Build.
+type Config struct {
+	// Units is the number of storage units (metadata servers). The
+	// prototype evaluation uses 60. Default 60.
+	Units int
+	// Attrs is the grouping predicate — the d-attribute subset of
+	// special interest (§3.1.1). Default: mtime, read and write volume
+	// (the paper's example query dimensions).
+	Attrs []Attr
+	// Mode is the default complex-query path. Default OffLine.
+	Mode Mode
+	// Versioning enables §4.4 consistency versioning.
+	Versioning bool
+	// VersionRatio is the modification-to-version ratio (§5.6; 0 → 4).
+	VersionRatio int
+	// LazyUpdateThreshold is the replica-refresh change fraction
+	// (§3.4; 0 → 0.05).
+	LazyUpdateThreshold float64
+	// AutoConfig additionally builds specialized semantic R-trees over
+	// attribute subsets (§2.4) and routes each query to the tree whose
+	// attributes match best.
+	AutoConfig bool
+	// AutoConfigThreshold is the index-unit-count difference ratio for
+	// keeping a specialized tree (§5.1 uses 10%; 0 → 0.10).
+	AutoConfigThreshold float64
+	// MaxChildren / MinChildren bound semantic R-tree fan-out (§4.1).
+	MaxChildren, MinChildren int
+	// BaseThreshold overrides the sampled level-1 admission threshold.
+	BaseThreshold float64
+	// Seed drives all randomized decisions. Deterministic per seed.
+	Seed uint64
+	// VirtualScale maps the in-memory sample onto a (much larger)
+	// virtual population for latency modelling; see DESIGN.md §4.
+	VirtualScale float64
+}
+
+// Store is a deployed SmartStore instance.
+type Store struct {
+	cfg      Config
+	norm     *metadata.Normalizer
+	primary  *cluster.Cluster
+	forest   *semtree.Forest
+	clusters map[*semtree.Tree]*cluster.Cluster
+}
+
+// QueryReport carries the accounting of one operation: virtual latency,
+// network messages, routing hops (groups beyond the first), and
+// version-chain work.
+type QueryReport struct {
+	Latency        float64 // seconds of virtual time
+	Messages       int64
+	Hops           int
+	UnitsSearched  int
+	VersionChecked int
+	VersionLatency float64
+}
+
+func fromResult(r cluster.Result) QueryReport {
+	return QueryReport{
+		Latency:        float64(r.Latency),
+		Messages:       r.Messages,
+		Hops:           r.Hops,
+		UnitsSearched:  r.UnitsSearched,
+		VersionChecked: r.VersionChecked,
+		VersionLatency: float64(r.VersionLatency),
+	}
+}
+
+// Build constructs and deploys a SmartStore over the given corpus.
+func Build(files []*File, cfg Config) (*Store, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("smartstore: empty corpus")
+	}
+	if cfg.Units == 0 {
+		cfg.Units = 60
+	}
+	if cfg.Units < 1 || cfg.Units > len(files) {
+		return nil, fmt.Errorf("smartstore: %d units invalid for %d files", cfg.Units, len(files))
+	}
+	if cfg.Attrs == nil {
+		cfg.Attrs = trace.DefaultQueryAttrs()
+	}
+
+	norm := &metadata.Normalizer{}
+	norm.Fit(files)
+
+	treeCfg := semtree.Config{
+		Attrs:         cfg.Attrs,
+		BaseThreshold: cfg.BaseThreshold,
+		MaxChildren:   cfg.MaxChildren,
+		MinChildren:   cfg.MinChildren,
+	}
+	clusterCfg := cluster.Config{
+		Versioning:          cfg.Versioning,
+		VersionRatio:        cfg.VersionRatio,
+		LazyUpdateThreshold: cfg.LazyUpdateThreshold,
+		Seed:                cfg.Seed,
+		VirtualScale:        cfg.VirtualScale,
+	}
+
+	s := &Store{cfg: cfg, norm: norm, clusters: map[*semtree.Tree]*cluster.Cluster{}}
+
+	units := semtree.PlaceSemantic(files, cfg.Units, norm, cfg.Attrs)
+	primaryTree := semtree.Build(units, norm, treeCfg)
+	s.primary = cluster.New(primaryTree, clusterCfg)
+	s.clusters[primaryTree] = s.primary
+
+	if cfg.AutoConfig {
+		s.forest = semtree.AutoConfigure(
+			semtree.PlaceSemantic(files, cfg.Units, norm, metadata.AllAttrs()),
+			norm, treeCfg, nil, cfg.AutoConfigThreshold)
+		for _, t := range s.forest.Trees() {
+			s.clusters[t] = cluster.New(t, clusterCfg)
+		}
+	}
+	return s, nil
+}
+
+// clusterFor picks the deployment serving a query over the given
+// attributes: with auto-configuration, the forest member whose grouping
+// attributes match best; otherwise the primary tree.
+func (s *Store) clusterFor(attrs []Attr) *cluster.Cluster {
+	if s.forest == nil {
+		return s.primary
+	}
+	// The primary tree is preferred when its predicate matches exactly.
+	if sameAttrs(s.cfg.Attrs, attrs) {
+		return s.primary
+	}
+	return s.clusters[s.forest.SelectTree(attrs)]
+}
+
+func sameAttrs(a, b []Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[Attr]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// PointQuery looks up file metadata by exact pathname (§3.3.3).
+func (s *Store) PointQuery(filename string) ([]uint64, QueryReport) {
+	ids, res := s.primary.Point(query.Point{Filename: filename})
+	return ids, fromResult(res)
+}
+
+// RangeQuery finds all files whose attrs[i] lies within [lo[i], hi[i]]
+// (§3.3.1). Values are in raw attribute units.
+func (s *Store) RangeQuery(attrs []Attr, lo, hi []float64) ([]uint64, QueryReport) {
+	q := query.NewRange(attrs, lo, hi)
+	c := s.clusterFor(attrs)
+	var ids []uint64
+	var res cluster.Result
+	if s.cfg.Mode == OnLine {
+		ids, res = c.RangeOnline(q)
+	} else {
+		ids, res = c.RangeOffline(q)
+	}
+	return ids, fromResult(res)
+}
+
+// TopKQuery finds the k files whose attributes are closest to the given
+// point (§3.3.2).
+func (s *Store) TopKQuery(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
+	q := query.NewTopK(attrs, point, k)
+	c := s.clusterFor(attrs)
+	var ids []uint64
+	var res cluster.Result
+	if s.cfg.Mode == OnLine {
+		ids, res = c.TopKOnline(q)
+	} else {
+		ids, res = c.TopKOffline(q)
+	}
+	return ids, fromResult(res)
+}
+
+// Insert routes a new file's metadata into every deployed tree.
+func (s *Store) Insert(f *File) QueryReport {
+	var rep QueryReport
+	for _, c := range s.clusters {
+		res := c.InsertFile(f)
+		if c == s.primary {
+			rep = fromResult(res)
+		}
+	}
+	return rep
+}
+
+// Delete removes a file by id, reporting whether it existed.
+func (s *Store) Delete(id uint64) (QueryReport, bool) {
+	var rep QueryReport
+	found := false
+	for _, c := range s.clusters {
+		res, ok := c.DeleteFile(id)
+		if c == s.primary {
+			rep = fromResult(res)
+			found = ok
+		}
+	}
+	return rep, found
+}
+
+// Modify updates an existing file's attributes.
+func (s *Store) Modify(f *File) (QueryReport, bool) {
+	var rep QueryReport
+	found := false
+	for _, c := range s.clusters {
+		res, ok := c.ModifyFile(f)
+		if c == s.primary {
+			rep = fromResult(res)
+			found = ok
+		}
+	}
+	return rep, found
+}
+
+// Flush propagates all pending changes to replicas (lazy updates are
+// otherwise threshold-driven, §3.4).
+func (s *Store) Flush() {
+	for _, c := range s.clusters {
+		c.PropagateAll()
+	}
+}
+
+// Stats summarizes the deployment.
+type Stats struct {
+	Units             int
+	IndexUnits        int
+	TreeHeight        int
+	Files             int
+	Trees             int // 1 + kept specialized trees
+	IndexBytesTotal   int
+	IndexBytesPerNode int
+}
+
+// Stats reports structural statistics of the store.
+func (s *Store) Stats() Stats {
+	storage, index := s.primary.Tree.CountNodes()
+	st := Stats{
+		Units:      storage,
+		IndexUnits: index,
+		TreeHeight: s.primary.Tree.Height(),
+		Files:      s.primary.Tree.TotalFiles(),
+		Trees:      len(s.clusters),
+	}
+	for _, c := range s.clusters {
+		st.IndexBytesTotal += c.Tree.SizeBytes()
+	}
+	st.IndexBytesPerNode = s.primary.IndexSizeBytes()
+	return st
+}
+
+// GenerateTrace synthesizes one of the paper's workloads ("HP", "MSN",
+// "EECS") with nFiles sampled files, deterministic in seed.
+func GenerateTrace(name string, nFiles int, seed uint64) (*TraceSet, error) {
+	spec, err := trace.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(nFiles, seed), nil
+}
+
+// DefaultCostModel exposes the calibrated virtual cost model so callers
+// can reason about reported latencies.
+func DefaultCostModel() simnet.CostModel { return simnet.DefaultCostModel() }

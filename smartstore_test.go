@@ -1,0 +1,216 @@
+package smartstore_test
+
+import (
+	"testing"
+
+	smartstore "repro"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func buildStore(t testing.TB, n int, cfg smartstore.Config) (*smartstore.Store, *smartstore.TraceSet) {
+	t.Helper()
+	set, err := smartstore.GenerateTrace("MSN", n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, set
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := smartstore.Build(nil, smartstore.Config{}); err == nil {
+		t.Fatal("Build(nil) should error")
+	}
+	set, _ := smartstore.GenerateTrace("MSN", 10, 1)
+	if _, err := smartstore.Build(set.Files, smartstore.Config{Units: 100}); err == nil {
+		t.Fatal("more units than files should error")
+	}
+}
+
+func TestGenerateTraceUnknown(t *testing.T) {
+	if _, err := smartstore.GenerateTrace("nope", 10, 1); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	store, _ := buildStore(t, 600, smartstore.Config{Units: 12})
+	st := store.Stats()
+	if st.Units != 12 || st.Files != 600 || st.Trees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.IndexUnits < 1 || st.TreeHeight < 2 {
+		t.Fatalf("tree shape = %+v", st)
+	}
+	if st.IndexBytesTotal <= 0 || st.IndexBytesPerNode <= 0 {
+		t.Fatalf("index size = %+v", st)
+	}
+}
+
+func TestPointQuery(t *testing.T) {
+	store, set := buildStore(t, 500, smartstore.Config{Units: 10})
+	for i := 0; i < 50; i++ {
+		f := set.Files[(i*17)%len(set.Files)]
+		ids, rep := store.PointQuery(f.Path)
+		found := false
+		for _, id := range ids {
+			if id == f.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point query missed %q", f.Path)
+		}
+		if rep.Latency <= 0 || rep.Messages == 0 {
+			t.Fatalf("report = %+v", rep)
+		}
+	}
+}
+
+func TestRangeQueryOfflineAndOnline(t *testing.T) {
+	for _, mode := range []smartstore.Mode{smartstore.OffLine, smartstore.OnLine} {
+		store, set := buildStore(t, 800, smartstore.Config{Units: 10, Mode: mode, Seed: uint64(mode)})
+		gen := trace.NewQueryGen(set, stats.Zipf, nil, 7)
+		var rec stats.Summary
+		for i := 0; i < 30; i++ {
+			q := gen.Range(0.08)
+			ids, _ := store.RangeQuery(q.Attrs, q.Lo, q.Hi)
+			want := query.RangeTruth(set.Files, q)
+			if len(want) == 0 {
+				continue
+			}
+			rec.Add(stats.Recall(want, ids))
+		}
+		if rec.N() > 0 && mode == smartstore.OnLine && rec.Mean() != 1 {
+			t.Fatalf("online recall = %v, want 1", rec.Mean())
+		}
+		if rec.N() > 0 && rec.Mean() < 0.7 {
+			t.Fatalf("mode %v recall = %v too low", mode, rec.Mean())
+		}
+	}
+}
+
+func TestTopKQueryReturnsK(t *testing.T) {
+	store, set := buildStore(t, 500, smartstore.Config{Units: 8})
+	gen := trace.NewQueryGen(set, stats.Gauss, nil, 11)
+	for i := 0; i < 20; i++ {
+		q := gen.TopK(6)
+		ids, rep := store.TopKQuery(q.Attrs, q.Point, 6)
+		if len(ids) != 6 {
+			t.Fatalf("topk returned %d, want 6", len(ids))
+		}
+		if rep.Latency <= 0 {
+			t.Fatal("no latency accounted")
+		}
+	}
+}
+
+func TestInsertDeleteModifyLifecycle(t *testing.T) {
+	store, set := buildStore(t, 400, smartstore.Config{
+		Units: 8, Versioning: true, LazyUpdateThreshold: 0.9,
+	})
+	nf := &smartstore.File{ID: 777777, Path: "/lifecycle/test.bin"}
+	nf.Attrs = set.Files[0].Attrs
+
+	rep := store.Insert(nf)
+	if rep.Latency <= 0 {
+		t.Fatal("insert latency missing")
+	}
+	ids, _ := store.PointQuery(nf.Path)
+	found := false
+	for _, id := range ids {
+		if id == nf.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted file not findable with versioning on")
+	}
+
+	mod := *nf
+	mod.Attrs[smartstore.AttrSize] = 1
+	if _, ok := store.Modify(&mod); !ok {
+		t.Fatal("Modify failed")
+	}
+	if _, ok := store.Delete(nf.ID); !ok {
+		t.Fatal("Delete failed")
+	}
+	if _, ok := store.Delete(nf.ID); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestFlushMakesInsertsVisibleWithoutVersioning(t *testing.T) {
+	store, set := buildStore(t, 400, smartstore.Config{
+		Units: 8, Versioning: false, LazyUpdateThreshold: 0.9,
+	})
+	nf := &smartstore.File{ID: 888888, Path: "/flush/test.bin"}
+	nf.Attrs = set.Files[0].Attrs
+	store.Insert(nf)
+	ids, _ := store.PointQuery(nf.Path)
+	for _, id := range ids {
+		if id == nf.ID {
+			t.Fatal("unpropagated insert visible without versioning")
+		}
+	}
+	store.Flush()
+	ids, _ = store.PointQuery(nf.Path)
+	found := false
+	for _, id := range ids {
+		if id == nf.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("insert invisible after Flush")
+	}
+}
+
+func TestAutoConfigRoutesQueries(t *testing.T) {
+	store, set := buildStore(t, 600, smartstore.Config{
+		Units: 10, AutoConfig: true, AutoConfigThreshold: 0.01,
+	})
+	st := store.Stats()
+	if st.Trees < 2 {
+		t.Skip("no specialized trees kept at this threshold")
+	}
+	// A size-only query routes somewhere and returns sound results.
+	lo, hi := set.Norm.Bounds(smartstore.AttrSize)
+	ids, _ := store.RangeQuery(
+		[]smartstore.Attr{smartstore.AttrSize},
+		[]float64{lo}, []float64{lo + (hi-lo)*0.2},
+	)
+	q := query.NewRange([]smartstore.Attr{smartstore.AttrSize},
+		[]float64{lo}, []float64{lo + (hi-lo)*0.2})
+	want := query.RangeTruth(set.Files, q)
+	if len(want) > 0 && stats.Recall(want, ids) < 0.5 {
+		t.Fatalf("autoconfig size-query recall = %v", stats.Recall(want, ids))
+	}
+}
+
+func TestVirtualScaleRaisesLatency(t *testing.T) {
+	small, set := buildStore(t, 500, smartstore.Config{Units: 10, Seed: 3})
+	big, err := smartstore.Build(set.Files, smartstore.Config{Units: 10, Seed: 3, VirtualScale: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full-space window guarantees records are scanned.
+	attrs := []smartstore.Attr{smartstore.AttrSize}
+	lo, hi := set.Norm.Bounds(smartstore.AttrSize)
+	_, rs := small.RangeQuery(attrs, []float64{lo}, []float64{hi})
+	_, rb := big.RangeQuery(attrs, []float64{lo}, []float64{hi})
+	if rb.Latency <= rs.Latency {
+		t.Fatalf("scaled latency %v not above unscaled %v", rb.Latency, rs.Latency)
+	}
+}
+
+func TestDefaultCostModelExposed(t *testing.T) {
+	if smartstore.DefaultCostModel().HopLatency <= 0 {
+		t.Fatal("cost model not exposed")
+	}
+}

@@ -1,0 +1,121 @@
+package smartstore
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/query"
+	"repro/internal/semtree"
+	"repro/internal/snapshot"
+)
+
+// Save persists the store's primary deployment (partition, normalizer,
+// configuration) to w. A store restored with Load answers queries
+// identically. Specialized auto-configuration trees are rebuilt on
+// load, not persisted.
+func (s *Store) Save(w io.Writer) error {
+	return snapshot.Capture(s.primary.Tree).Write(w)
+}
+
+// Load restores a store previously written with Save. The cluster
+// deployment (server mapping, replicas) is regenerated from cfg's seed;
+// cfg's structural fields (Units, Attrs, fan-out, threshold) are taken
+// from the snapshot and ignored in cfg.
+func Load(r io.Reader, cfg Config) (*Store, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := snap.Restore()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VersionRatio < 0 || cfg.LazyUpdateThreshold < 0 {
+		return nil, fmt.Errorf("smartstore: invalid config")
+	}
+	cl := cluster.New(tree, cluster.Config{
+		Versioning:          cfg.Versioning,
+		VersionRatio:        cfg.VersionRatio,
+		LazyUpdateThreshold: cfg.LazyUpdateThreshold,
+		Seed:                cfg.Seed,
+		VirtualScale:        cfg.VirtualScale,
+	})
+	st := &Store{
+		cfg:      cfg,
+		norm:     tree.Norm,
+		primary:  cl,
+		clusters: map[*semtree.Tree]*cluster.Cluster{tree: cl},
+	}
+	st.cfg.Attrs = tree.Attrs
+	return st, nil
+}
+
+// Correlated returns the k files most semantically correlated with the
+// file at the given path — the semantic-prefetching primitive of §1.1
+// ("when a file is visited, we can execute a top-k query to find its k
+// most correlated files to be prefetched"). It returns ok=false when
+// the path is unknown.
+func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
+	matches, _ := s.primary.Point(query.Point{Filename: path})
+	if len(matches) == 0 {
+		return nil, QueryReport{}, false
+	}
+	var anchor *File
+	for _, leaf := range s.primary.Tree.Leaves() {
+		for _, f := range leaf.Unit.Files {
+			if f.ID == matches[0] {
+				anchor = f
+			}
+		}
+	}
+	if anchor == nil {
+		return nil, QueryReport{}, false
+	}
+	attrs := s.cfg.Attrs
+	point := make([]float64, len(attrs))
+	for i, a := range attrs {
+		point[i] = anchor.Attrs[a]
+	}
+	// k+1 then drop the anchor itself.
+	got, r := s.TopKQuery(attrs, point, k+1)
+	out := make([]uint64, 0, k)
+	for _, id := range got {
+		if id != anchor.ID && len(out) < k {
+			out = append(out, id)
+		}
+	}
+	return out, r, true
+}
+
+// DuplicateCandidates returns, for the file at the given path, up to k
+// files whose physical attributes (size, creation time) are nearest —
+// the deduplication narrowing of §1.1. The caller confirms true
+// duplicates by content comparison.
+func (s *Store) DuplicateCandidates(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
+	matches, _ := s.primary.Point(query.Point{Filename: path})
+	if len(matches) == 0 {
+		return nil, QueryReport{}, false
+	}
+	var anchor *File
+	for _, leaf := range s.primary.Tree.Leaves() {
+		for _, f := range leaf.Unit.Files {
+			if f.ID == matches[0] {
+				anchor = f
+			}
+		}
+	}
+	if anchor == nil {
+		return nil, QueryReport{}, false
+	}
+	attrs := []Attr{AttrSize, AttrCTime}
+	point := []float64{anchor.Attrs[AttrSize], anchor.Attrs[AttrCTime]}
+	got, r := s.TopKQuery(attrs, point, k+1)
+	out := make([]uint64, 0, k)
+	for _, id := range got {
+		if id != anchor.ID && len(out) < k {
+			out = append(out, id)
+		}
+	}
+	return out, r, true
+}
