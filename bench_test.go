@@ -11,9 +11,14 @@
 package smartstore_test
 
 import (
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
+	smartstore "repro"
+	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -228,4 +233,74 @@ func BenchmarkAblation_ReplicaDepth(b *testing.B) {
 			b.Fatal("empty replica-depth ablation")
 		}
 	}
+}
+
+// Service-path benchmarks: wall-clock cost of a query through the
+// smartstored HTTP layer (in-process httptest server), capturing the
+// serving trajectory — cached vs uncached, and concurrent fan-in —
+// alongside the paper's simnet numbers.
+
+// newServedBench stands up an in-process daemon over the bench-scale
+// store.
+func newServedBench(b *testing.B, cacheEntries int) *client.Client {
+	b.Helper()
+	set, err := smartstore.GenerateTrace("MSN", 3000, 2009)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 60, Seed: 2009})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(store, server.Options{CacheEntries: cacheEntries}))
+	b.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+var servedAttrs = []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes, smartstore.AttrWriteBytes}
+
+func BenchmarkServedRangeQuery_Uncached(b *testing.B) {
+	cl := newServedBench(b, -1) // cache disabled: every request executes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Range(servedAttrs,
+			[]float64{0, 0, 0}, []float64{40000 + float64(i%64), 4e7, 8e7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServedRangeQuery_Cached(b *testing.B) {
+	cl := newServedBench(b, 1024)
+	// Prime the cache, then every iteration is a hit.
+	if _, err := cl.Range(servedAttrs, []float64{0, 0, 0}, []float64{40000, 4e7, 8e7}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Range(servedAttrs, []float64{0, 0, 0}, []float64{40000, 4e7, 8e7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+func BenchmarkServedTopK_Concurrent(b *testing.B) {
+	cl := newServedBench(b, 1024)
+	// A globally unique point per request — drawn from a shared counter
+	// so goroutines never replay each other's keys — keeps this
+	// measuring concurrent query execution rather than cache hits.
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := []float64{40000 + float64(seq.Add(1)), 3e7, 6e7}
+			if _, err := cl.TopK(servedAttrs, p, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

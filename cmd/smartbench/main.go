@@ -11,6 +11,14 @@
 //
 // Experiment ids match DESIGN.md §3: table1..table6, fig7..fig14,
 // ablations.
+//
+// A second mode benchmarks the *service* path — real wall-clock
+// throughput and latency through the smartstored HTTP API rather than
+// simnet virtual time:
+//
+//	smartbench -serve -clients 8 -ops 4000            # in-process server
+//	smartbench -remote localhost:7070 -clients 16     # running daemon
+//	smartbench -serve -mutate 0.05                    # 5% inserts in the mix
 package main
 
 import (
@@ -30,7 +38,32 @@ func main() {
 	units := flag.Int("units", 0, "override storage-unit count")
 	queries := flag.Int("queries", 0, "override queries per cell")
 	seed := flag.Uint64("seed", 0, "override random seed")
+	serve := flag.Bool("serve", false, "benchmark the HTTP service path against an in-process server")
+	remote := flag.String("remote", "", "benchmark a running smartstored at this address")
+	clients := flag.Int("clients", 8, "service bench: concurrent closed-loop clients")
+	ops := flag.Int("ops", 4000, "service bench: total operations")
+	mutate := flag.Float64("mutate", 0, "service bench: fraction of ops that are inserts")
+	benchTrace := flag.String("trace", "MSN", "service bench: trace to draw queries from")
+	cacheEntries := flag.Int("cache", 4096, "service bench: in-process server cache entries")
 	flag.Parse()
+
+	if *serve || *remote != "" {
+		o := serveBenchOpts{
+			remote:  *remote,
+			trace:   *benchTrace,
+			files:   orDefault(*baseFiles, 20000),
+			units:   orDefault(*units, 60),
+			seed:    *seed,
+			clients: *clients,
+			ops:     *ops,
+			mutate:  *mutate,
+			cache:   *cacheEntries,
+		}
+		if o.seed == 0 {
+			o.seed = 42
+		}
+		os.Exit(runServiceBench(o))
+	}
 
 	p := experiments.Default()
 	if *quick {
@@ -121,4 +154,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smartbench: no experiment matched %q (see DESIGN.md §3 for ids)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// orDefault substitutes d for an unset (zero) flag value.
+func orDefault(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
 }

@@ -1,0 +1,210 @@
+// Service-path benchmarking: a closed-loop load generator driving the
+// smartstored HTTP API, either against an in-process server (-serve) or
+// a running daemon (-remote addr). Unlike the simnet experiments, which
+// report *virtual* time, this mode measures real wall-clock service
+// throughput and latency (p50/p95/p99) per operation type, so the
+// serving layer — locking, cache, admission — becomes measurable.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// serveBenchOpts collects the load-generator flags.
+type serveBenchOpts struct {
+	remote  string // daemon address; empty = start in-process
+	trace   string
+	files   int
+	units   int
+	seed    uint64
+	clients int
+	ops     int
+	mutate  float64 // fraction of operations that are inserts
+	cache   int
+}
+
+type opSample struct {
+	op     string
+	d      time.Duration
+	err    bool
+	cached bool
+}
+
+// runServiceBench drives the closed loop and prints the report. It
+// returns a process exit code.
+func runServiceBench(o serveBenchOpts) int {
+	set, err := smartstore.GenerateTrace(o.trace, o.files, o.seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartbench:", err)
+		return 1
+	}
+
+	addr := o.remote
+	var shutdown func()
+	if addr == "" {
+		store, err := smartstore.Build(set.Files, smartstore.Config{Units: o.units, Seed: o.seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			return 1
+		}
+		srv := &http.Server{Handler: server.New(store, server.Options{CacheEntries: o.cache})}
+		go srv.Serve(ln)
+		addr = ln.Addr().String()
+		shutdown = func() { srv.Close() }
+		fmt.Printf("smartbench: in-process smartstored on %s (%d files, %d units)\n",
+			addr, len(set.Files), o.units)
+	} else {
+		fmt.Printf("smartbench: driving remote smartstored at %s\n", addr)
+		fmt.Printf("smartbench: drawing queries from trace %s ×%d seed %d — match the daemon's bootstrap\n",
+			o.trace, o.files, o.seed)
+	}
+	if shutdown != nil {
+		defer shutdown()
+	}
+
+	cl := client.New(addr)
+	if !cl.Healthy() {
+		fmt.Fprintf(os.Stderr, "smartbench: no healthy smartstored at %s\n", addr)
+		return 1
+	}
+
+	// Closed loop: o.clients workers issue operations back-to-back until
+	// the shared budget drains. Per-worker generators keep the draw
+	// deterministic in seed regardless of scheduling.
+	var remaining atomic.Int64
+	remaining.Store(int64(o.ops))
+	samples := make([][]opSample, o.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples[w] = benchWorker(cl, set, o, uint64(w), &remaining)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []opSample
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	printServiceReport(all, wall, o, cl)
+	return 0
+}
+
+// benchWorker issues operations until the shared budget drains.
+func benchWorker(cl *client.Client, set *smartstore.TraceSet, o serveBenchOpts,
+	worker uint64, budget *atomic.Int64) []opSample {
+
+	qg := trace.NewQueryGen(set, stats.Zipf, nil, o.seed+1000*worker+1)
+	rng := stats.NewRNG(o.seed + 7000*worker + 3)
+	attrs := trace.DefaultQueryAttrs()
+	var out []opSample
+	for budget.Add(-1) >= 0 {
+		var s opSample
+		t0 := time.Now()
+		switch {
+		case rng.Float64() < o.mutate:
+			s.op = "insert"
+			src := set.Files[rng.IntN(len(set.Files))]
+			f := &smartstore.File{Path: fmt.Sprintf("/bench/w%d/f%d", worker, len(out)), Attrs: src.Attrs}
+			_, err := cl.Insert([]*smartstore.File{f})
+			s.err = err != nil
+		default:
+			switch rng.IntN(10) {
+			case 0, 1: // 20% point
+				s.op = "point"
+				q := qg.Point(0.8)
+				resp, err := cl.Point(q.Filename)
+				s.err = err != nil
+				s.cached = err == nil && resp.Cached
+			case 2, 3, 4, 5: // 40% range
+				s.op = "range"
+				q := qg.Range(0.1)
+				resp, err := cl.Range(attrs, q.Lo, q.Hi)
+				s.err = err != nil
+				s.cached = err == nil && resp.Cached
+			default: // 40% top-k
+				s.op = "topk"
+				q := qg.TopK(8)
+				resp, err := cl.TopK(attrs, q.Point, q.K)
+				s.err = err != nil
+				s.cached = err == nil && resp.Cached
+			}
+		}
+		s.d = time.Since(t0)
+		out = append(out, s)
+	}
+	return out
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printServiceReport(all []opSample, wall time.Duration, o serveBenchOpts, cl *client.Client) {
+	byOp := map[string][]opSample{}
+	for _, s := range all {
+		byOp[s.op] = append(byOp[s.op], s)
+	}
+	fmt.Printf("\nservice bench: clients=%d ops=%d mutate=%.2f wall=%.2fs throughput=%.0f ops/s\n",
+		o.clients, len(all), o.mutate, wall.Seconds(), float64(len(all))/wall.Seconds())
+	fmt.Printf("%-8s %8s %6s %8s %10s %10s %10s %10s\n",
+		"op", "count", "err", "cached", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+	for _, op := range []string{"point", "range", "topk", "insert"} {
+		ss := byOp[op]
+		if len(ss) == 0 {
+			continue
+		}
+		durs := make([]time.Duration, 0, len(ss))
+		var sum time.Duration
+		errs, cached := 0, 0
+		for _, s := range ss {
+			durs = append(durs, s.d)
+			sum += s.d
+			if s.err {
+				errs++
+			}
+			if s.cached {
+				cached++
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		fmt.Printf("%-8s %8d %6d %8d %10.3f %10.3f %10.3f %10.3f\n",
+			op, len(ss), errs, cached,
+			ms(sum/time.Duration(len(ss))),
+			ms(percentile(durs, 0.50)), ms(percentile(durs, 0.95)), ms(percentile(durs, 0.99)))
+	}
+	if st, err := cl.Stats(); err == nil {
+		c := st.Server.Cache
+		fmt.Printf("cache: %d entries, %d hits / %d misses, %d invalidations, %d evictions\n",
+			c.Entries, c.Hits, c.Misses, c.Invalidations, c.Evictions)
+		fmt.Printf("server: %d requests, %d rejected, %d workers, epoch %d\n",
+			st.Server.Requests, st.Server.Rejected, st.Server.Workers, st.Store.Epoch)
+	}
+}

@@ -1,6 +1,9 @@
 // Command smartctl builds a SmartStore over a synthesized trace and runs
 // ad-hoc queries against it — a small operational front-end to the
-// library for exploration and demos.
+// library for exploration and demos. With -remote it routes the same
+// verbs through a running smartstored daemon instead of building a
+// local store, so one binary exercises both the library and the
+// service path.
 //
 // Usage:
 //
@@ -8,6 +11,8 @@
 //	smartctl -trace MSN -files 5000 point /MSN/u010/d03/f0000123.dat
 //	smartctl -trace HP range mtime=3600:86400 read_bytes=3e7:5e7
 //	smartctl -trace EECS topk 8 mtime=41000 read_bytes=2.68e7 write_bytes=6.57e7
+//	smartctl -remote localhost:7070 stats
+//	smartctl -remote localhost:7070 range mtime=3600:86400
 package main
 
 import (
@@ -18,17 +23,8 @@ import (
 	"strings"
 
 	smartstore "repro"
+	"repro/internal/client"
 )
-
-var attrByName = map[string]smartstore.Attr{
-	"size":        smartstore.AttrSize,
-	"ctime":       smartstore.AttrCTime,
-	"mtime":       smartstore.AttrMTime,
-	"atime":       smartstore.AttrATime,
-	"read_bytes":  smartstore.AttrReadBytes,
-	"write_bytes": smartstore.AttrWriteBytes,
-	"access_freq": smartstore.AttrAccessFreq,
-}
 
 func main() {
 	traceName := flag.String("trace", "MSN", "trace to synthesize: HP, MSN or EECS")
@@ -39,11 +35,17 @@ func main() {
 	online := flag.Bool("online", false, "use the on-line multicast query path")
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	savePath := flag.String("save", "", "write the built store to a snapshot file before querying")
+	remote := flag.String("remote", "", "route verbs through a smartstored daemon at this address")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	if *remote != "" {
+		runRemote(*remote, args)
+		return
 	}
 
 	mode := smartstore.OffLine
@@ -131,6 +133,80 @@ func main() {
 	}
 }
 
+// runRemote executes one verb against a smartstored daemon.
+func runRemote(addr string, args []string) {
+	cl := client.New(addr)
+	switch args[0] {
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("remote        %s (epoch %d)\n", addr, st.Store.Epoch)
+		fmt.Printf("files         %d\n", st.Store.Files)
+		fmt.Printf("storage units %d\n", st.Store.Units)
+		fmt.Printf("index units   %d\n", st.Store.IndexUnits)
+		fmt.Printf("tree height   %d\n", st.Store.TreeHeight)
+		fmt.Printf("trees         %d\n", st.Store.Trees)
+		fmt.Printf("index bytes   %d total, %d per node\n",
+			st.Store.IndexBytesTotal, st.Store.IndexBytesPerNode)
+		fmt.Printf("server        %d reqs (%d rejected), cache %d/%d entries, %d hits / %d misses\n",
+			st.Server.Requests, st.Server.Rejected,
+			st.Server.Cache.Entries, st.Server.Cache.MaxEntries,
+			st.Server.Cache.Hits, st.Server.Cache.Misses)
+	case "point":
+		if len(args) != 2 {
+			usage()
+		}
+		resp, err := cl.Point(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d match(es) in %.6fs over %d message(s)%s\n",
+			resp.Count, resp.Report.LatencySec, resp.Report.Messages, cachedTag(resp.Cached))
+		for _, id := range resp.IDs {
+			fmt.Printf("  id %d\n", id)
+		}
+	case "range":
+		attrs, lo, hi := parseRangeArgs(args[1:])
+		resp, err := cl.Range(attrs, lo, hi)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d match(es) in %.6fs over %d message(s), %d hop(s)%s\n",
+			resp.Count, resp.Report.LatencySec, resp.Report.Messages, resp.Report.Hops,
+			cachedTag(resp.Cached))
+	case "topk":
+		if len(args) < 3 {
+			usage()
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("invalid k %q", args[1]))
+		}
+		attrs, point := parsePointArgs(args[2:])
+		resp, err := cl.TopK(attrs, point, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("top-%d in %.6fs over %d message(s), %d hop(s)%s\n",
+			k, resp.Report.LatencySec, resp.Report.Messages, resp.Report.Hops,
+			cachedTag(resp.Cached))
+		for _, id := range resp.IDs {
+			fmt.Printf("  id %d\n", id)
+		}
+	default:
+		usage()
+	}
+}
+
+func cachedTag(cached bool) string {
+	if cached {
+		return " [cached]"
+	}
+	return ""
+}
+
 // parseRangeArgs parses attr=lo:hi clauses.
 func parseRangeArgs(args []string) ([]smartstore.Attr, []float64, []float64) {
 	if len(args) == 0 {
@@ -143,8 +219,8 @@ func parseRangeArgs(args []string) ([]smartstore.Attr, []float64, []float64) {
 		if !ok {
 			fatal(fmt.Errorf("bad range clause %q (want attr=lo:hi)", arg))
 		}
-		a, ok := attrByName[name]
-		if !ok {
+		a, err := smartstore.ParseAttr(name)
+		if err != nil {
 			fatal(fmt.Errorf("unknown attribute %q", name))
 		}
 		los, his, ok := strings.Cut(spec, ":")
@@ -175,8 +251,8 @@ func parsePointArgs(args []string) ([]smartstore.Attr, []float64) {
 		if !ok {
 			fatal(fmt.Errorf("bad point clause %q (want attr=value)", arg))
 		}
-		a, ok := attrByName[name]
-		if !ok {
+		a, err := smartstore.ParseAttr(name)
+		if err != nil {
 			fatal(fmt.Errorf("unknown attribute %q", name))
 		}
 		v, err := strconv.ParseFloat(spec, 64)

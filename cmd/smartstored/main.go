@@ -1,0 +1,131 @@
+// Command smartstored is the SmartStore metadata daemon: it deploys a
+// store — bootstrapped from a synthesized trace or restored from a
+// snapshot — and serves the HTTP/JSON metadata API of internal/server.
+//
+// Usage:
+//
+//	smartstored -addr :7070 -trace MSN -files 20000
+//	smartstored -addr :7070 -load store.snap -versioning
+//	smartstored -addr :7070 -trace HP -cache 8192 -workers 16
+//
+// Probe it with curl (see DESIGN.md §5 for the full API):
+//
+//	curl -s localhost:7070/v1/stats
+//	curl -s -X POST localhost:7070/v1/query/range \
+//	  -d '{"attrs":["mtime","read_bytes"],"lo":[36000,3e7],"hi":[59000,5e7]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	traceName := flag.String("trace", "MSN", "trace to synthesize: HP, MSN or EECS")
+	files := flag.Int("files", 20000, "sample population for trace bootstrap")
+	units := flag.Int("units", 60, "storage units")
+	seed := flag.Uint64("seed", 42, "random seed")
+	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
+	versioning := flag.Bool("versioning", false, "enable consistency versioning")
+	online := flag.Bool("online", false, "use the on-line multicast query path")
+	autoconfig := flag.Bool("autoconfig", false, "build specialized semantic R-trees per attribute subset")
+	cacheEntries := flag.Int("cache", 4096, "query-result cache entries (negative disables)")
+	workers := flag.Int("workers", 0, "max concurrently executing requests (0 = 2×GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 8×workers)")
+	flag.Parse()
+
+	store, desc, err := bootstrap(*loadPath, *traceName, *files, *units, *seed,
+		*versioning, *online, *autoconfig)
+	if err != nil {
+		log.Fatalf("smartstored: %v", err)
+	}
+
+	srv := server.New(store, server.Options{
+		CacheEntries: *cacheEntries,
+		Workers:      *workers,
+		MaxQueue:     *queue,
+	})
+	st := store.Stats()
+	log.Printf("smartstored: %s — %d files in %d units (%d index units, height %d)",
+		desc, st.Files, st.Units, st.IndexUnits, st.TreeHeight)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("smartstored: serving on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("smartstored: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("smartstored: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("smartstored: shutdown: %v", err)
+		}
+	}
+}
+
+// bootstrap builds the store from a snapshot or a synthesized trace.
+func bootstrap(loadPath, traceName string, files, units int, seed uint64,
+	versioning, online, autoconfig bool) (*smartstore.Store, string, error) {
+
+	mode := smartstore.OffLine
+	if online {
+		mode = smartstore.OnLine
+	}
+	cfg := smartstore.Config{
+		Units:      units,
+		Seed:       seed,
+		Versioning: versioning,
+		Mode:       mode,
+		AutoConfig: autoconfig,
+	}
+
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		store, err := smartstore.Load(f, cfg)
+		if err != nil {
+			return nil, "", fmt.Errorf("restoring %s: %w", loadPath, err)
+		}
+		return store, "restored from " + loadPath, nil
+	}
+
+	set, err := smartstore.GenerateTrace(traceName, files, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	store, err := smartstore.Build(set.Files, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return store, "bootstrapped from trace " + traceName, nil
+}

@@ -1,0 +1,174 @@
+// Package client is the typed Go client of the smartstored HTTP/JSON
+// metadata service. It speaks the wire format of internal/server and
+// mirrors the root library API: callers pass smartstore.Attr subsets
+// and raw attribute values and get back ids plus the virtual-time
+// report, with the extra Cached bit the serving layer adds.
+//
+// A Client is safe for concurrent use by multiple goroutines.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/server"
+)
+
+// Client talks to one smartstored instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a daemon at addr — either a bare "host:port"
+// or a full "http://host:port" base URL.
+func New(addr string) *Client {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	// A dedicated transport with a deep idle pool: benchmark and
+	// service workloads run dozens of concurrent closed-loop callers
+	// through one Client, and the default MaxIdleConnsPerHost of 2
+	// would churn TCP connections, polluting measured tail latency
+	// with handshake cost.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	return &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 60 * time.Second, Transport: tr},
+	}
+}
+
+// post round-trips one JSON request; out may be nil.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	return c.finish(path, resp, out)
+}
+
+// get round-trips one GET.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	return c.finish(path, resp, out)
+}
+
+func (c *Client) finish(path string, resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&we) == nil && we.Error != "" {
+			return fmt.Errorf("client: %s: %s (%s)", path, we.Error, resp.Status)
+		}
+		return fmt.Errorf("client: %s: %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Point looks up file metadata by exact pathname.
+func (c *Client) Point(path string) (*server.QueryResponse, error) {
+	var out server.QueryResponse
+	if err := c.post("/v1/query/point", server.PointRequest{Path: path}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Range finds all files whose attrs[i] lies within [lo[i], hi[i]], in
+// raw attribute units.
+func (c *Client) Range(attrs []smartstore.Attr, lo, hi []float64) (*server.QueryResponse, error) {
+	var out server.QueryResponse
+	req := server.RangeRequest{Attrs: server.AttrNames(attrs), Lo: lo, Hi: hi}
+	if err := c.post("/v1/query/range", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopK finds the k files whose attributes are closest to point.
+func (c *Client) TopK(attrs []smartstore.Attr, point []float64, k int) (*server.QueryResponse, error) {
+	var out server.QueryResponse
+	req := server.TopKRequest{Attrs: server.AttrNames(attrs), Point: point, K: k}
+	if err := c.post("/v1/query/topk", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert inserts a batch of files in one request. Files with a zero ID
+// get one allocated by the server; the response lists the batch's ids
+// in input order.
+func (c *Client) Insert(files []*smartstore.File) (*server.InsertResponse, error) {
+	recs := make([]server.FileRecord, len(files))
+	for i, f := range files {
+		recs[i] = server.RecordFromFile(f)
+	}
+	var out server.InsertResponse
+	if err := c.post("/v1/insert", server.InsertRequest{Files: recs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete removes a file by id.
+func (c *Client) Delete(id uint64) (*server.MutateResponse, error) {
+	var out server.MutateResponse
+	if err := c.post("/v1/delete", server.DeleteRequest{ID: id}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Modify updates an existing file's attributes.
+func (c *Client) Modify(f *smartstore.File) (*server.MutateResponse, error) {
+	var out server.MutateResponse
+	if err := c.post("/v1/modify", server.ModifyRequest{File: server.RecordFromFile(f)}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Flush propagates all pending changes to replicas.
+func (c *Client) Flush() (*server.FlushResponse, error) {
+	var out server.FlushResponse
+	if err := c.post("/v1/flush", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats reports store structure and serving-layer counters.
+func (c *Client) Stats() (*server.StatsResponse, error) {
+	var out server.StatsResponse
+	if err := c.get("/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the daemon answers its health check.
+func (c *Client) Healthy() bool {
+	var out map[string]bool
+	return c.get("/healthz", &out) == nil && out["ok"]
+}

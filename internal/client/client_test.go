@@ -1,0 +1,170 @@
+package client
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	smartstore "repro"
+	"repro/internal/server"
+)
+
+// newServedStore stands up an httptest daemon over a small store and
+// returns a client for it.
+func newServedStore(t testing.TB) (*Client, *smartstore.Store, *smartstore.TraceSet) {
+	t.Helper()
+	set, err := smartstore.GenerateTrace("EECS", 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(store, server.Options{}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL), store, set
+}
+
+func TestClientQueriesMatchLibrary(t *testing.T) {
+	cl, store, set := newServedStore(t)
+
+	if !cl.Healthy() {
+		t.Fatal("daemon not healthy")
+	}
+
+	// Point.
+	want := set.Files[42]
+	pt, err := cl.Point(want.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Count == 0 {
+		t.Fatalf("point query for %q found nothing", want.Path)
+	}
+
+	// Range answers match the library exactly (result ids are
+	// deterministic regardless of the simulated home unit).
+	attrs := []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes}
+	lo := []float64{0, 0}
+	hi := []float64{5e8, 1e12}
+	got, err := cl.Range(attrs, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := store.RangeQuery(attrs, lo, hi)
+	if len(got.IDs) != len(direct) {
+		t.Fatalf("remote range %d ids, library %d", len(got.IDs), len(direct))
+	}
+	directSet := map[uint64]bool{}
+	for _, id := range direct {
+		directSet[id] = true
+	}
+	for _, id := range got.IDs {
+		if !directSet[id] {
+			t.Fatalf("remote id %d not in library answer", id)
+		}
+	}
+
+	// Top-k.
+	tk, err := cl.TopK(attrs, []float64{want.Attrs[smartstore.AttrMTime],
+		want.Attrs[smartstore.AttrReadBytes]}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tk.IDs) != 5 {
+		t.Fatalf("top-5 returned %d ids", len(tk.IDs))
+	}
+}
+
+func TestClientMutations(t *testing.T) {
+	cl, _, set := newServedStore(t)
+
+	f := &smartstore.File{Path: "/client/new.dat", Attrs: set.Files[0].Attrs}
+	ins, err := cl.Insert([]*smartstore.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Inserted != 1 || len(ins.IDs) != 1 || ins.IDs[0] == 0 {
+		t.Fatalf("insert response %+v", ins)
+	}
+
+	if _, err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := cl.Point("/client/new.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Count != 1 || pt.IDs[0] != ins.IDs[0] {
+		t.Fatalf("point after insert+flush: %+v want id %d", pt, ins.IDs[0])
+	}
+
+	f.ID = ins.IDs[0]
+	f.Attrs[smartstore.AttrSize] = 777
+	mod, err := cl.Modify(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.Found {
+		t.Fatal("modify did not find inserted file")
+	}
+
+	del, err := cl.Delete(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Found {
+		t.Fatal("delete did not find file")
+	}
+	del2, err := cl.Delete(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del2.Found {
+		t.Fatal("double delete reported found")
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Epoch == 0 {
+		t.Fatal("mutations did not advance the epoch")
+	}
+}
+
+func TestClientCachedBit(t *testing.T) {
+	cl, _, _ := newServedStore(t)
+	attrs := []smartstore.Attr{smartstore.AttrMTime}
+	lo, hi := []float64{0}, []float64{1e9}
+
+	first, err := cl.Range(attrs, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cl.Range(attrs, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached bits: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	cl, _, _ := newServedStore(t)
+
+	// Server-side validation surfaces as a typed error.
+	if _, err := cl.TopK([]smartstore.Attr{smartstore.AttrMTime}, []float64{0}, 0); err == nil {
+		t.Fatal("k=0 top-k did not error")
+	}
+
+	// A dead endpoint errors rather than hanging.
+	dead := New("127.0.0.1:1")
+	if dead.Healthy() {
+		t.Fatal("dead endpoint reported healthy")
+	}
+	if _, err := dead.Stats(); err == nil {
+		t.Fatal("stats against dead endpoint did not error")
+	}
+}

@@ -79,8 +79,8 @@ type Cluster struct {
 	// ReplicaMulticasts counts lazy-update propagation rounds.
 	ReplicaMulticasts int
 
-	// byID caches the id → file map used by top-k reranking; updates
-	// invalidate it.
+	// byID caches the id → file map used by top-k reranking and id
+	// lookups; mutations maintain it incrementally once built.
 	byID map[uint64]*metadata.File
 
 	rng *rand.Rand
@@ -99,8 +99,20 @@ func (c *Cluster) fileByID() map[uint64]*metadata.File {
 	return c.byID
 }
 
-// invalidateFileIndex drops the id cache after a mutation.
-func (c *Cluster) invalidateFileIndex() { c.byID = nil }
+// HasFile reports whether a file with the given id is currently
+// stored, using the cached id index.
+func (c *Cluster) HasFile(id uint64) bool {
+	_, ok := c.fileByID()[id]
+	return ok
+}
+
+// FileByID returns the stored file with the given id, using the cached
+// id index. Mutations keep the index current incrementally, so lookups
+// stay O(1) across insert/delete churn.
+func (c *Cluster) FileByID(id uint64) (*metadata.File, bool) {
+	f, ok := c.fileByID()[id]
+	return f, ok
+}
 
 // New deploys tree over a fresh simulated cluster: one server per
 // storage unit plus a client node, index units mapped bottom-up onto

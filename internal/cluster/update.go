@@ -18,7 +18,9 @@ import (
 // staleness/recall trade-off Tables 5–6 measure.
 func (c *Cluster) InsertFile(f *metadata.File) Result {
 	var res Result
-	c.invalidateFileIndex()
+	if c.byID != nil {
+		c.byID[f.ID] = f
+	}
 	leaf := c.Tree.InsertFile(f)
 	g := c.Tree.GroupOf(leaf)
 	c.ensureGroup(g)
@@ -36,9 +38,10 @@ func (c *Cluster) InsertFile(f *metadata.File) Result {
 
 // ModifyFile updates an existing file's attributes in place and records
 // the modification in the owning group's version chain.
+// The id index needs no maintenance here: the stored *File is mutated
+// in place, so its pointer stays valid.
 func (c *Cluster) ModifyFile(f *metadata.File) (Result, bool) {
 	var res Result
-	c.invalidateFileIndex()
 	for _, leaf := range c.Tree.Leaves() {
 		for _, existing := range leaf.Unit.Files {
 			if existing.ID != f.ID {
@@ -63,7 +66,6 @@ func (c *Cluster) ModifyFile(f *metadata.File) (Result, bool) {
 // DeleteFile removes a file from the cluster, recording the deletion.
 func (c *Cluster) DeleteFile(id uint64) (Result, bool) {
 	var res Result
-	c.invalidateFileIndex()
 	for _, leaf := range c.Tree.Leaves() {
 		var target *metadata.File
 		for _, f := range leaf.Unit.Files {
@@ -77,6 +79,9 @@ func (c *Cluster) DeleteFile(id uint64) (Result, bool) {
 		}
 		if !leaf.Unit.RemoveFile(id) {
 			return res, false
+		}
+		if c.byID != nil {
+			delete(c.byID, id)
 		}
 		g := c.Tree.GroupOf(leaf)
 		c.ensureGroup(g)
@@ -168,6 +173,13 @@ func (c *Cluster) ensureGroup(g *semtree.Node) {
 // tree locates the most-correlated group, simulated servers grow by one,
 // and the unit's node joins the mapping.
 func (c *Cluster) InsertUnit(u *semtree.StorageUnit) *semtree.Node {
+	// Keep the incrementally maintained id index covering the unit's
+	// files — they bypass InsertFile.
+	if c.byID != nil {
+		for _, f := range u.Files {
+			c.byID[f.ID] = f
+		}
+	}
 	leaf := c.Tree.InsertUnit(u)
 	// The simulator's node set is fixed; map the new unit onto a fresh
 	// logical server modelled by reusing the least-loaded existing one.

@@ -41,6 +41,17 @@ func (a Attr) String() string {
 	return fmt.Sprintf("attr(%d)", int(a))
 }
 
+// ParseAttr resolves an attribute's short name to its Attr — the
+// inverse of String, used by wire formats and CLIs.
+func ParseAttr(name string) (Attr, error) {
+	for a, n := range attrNames {
+		if n == name {
+			return Attr(a), nil
+		}
+	}
+	return 0, fmt.Errorf("metadata: unknown attribute %q", name)
+}
+
 // AllAttrs returns the full D-dimensional attribute subset.
 func AllAttrs() []Attr {
 	out := make([]Attr, NumAttrs)

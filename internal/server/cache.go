@@ -1,0 +1,156 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	smartstore "repro"
+	"repro/internal/metadata"
+)
+
+// queryCache is an LRU over query results, keyed by the normalized
+// query text. Each entry carries the store's mutation epoch observed
+// *before* the result was computed; a lookup whose epoch differs drops
+// the entry, so one mutation invalidates the whole cache at the cost of
+// a counter compare per hit — no tracking of which groups a write
+// touched. Tagging with the pre-query epoch keeps the race with a
+// concurrent writer safe: a result computed while a mutation lands is
+// at worst invalidated one lookup early, never served stale.
+type queryCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions, invalidations uint64
+}
+
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	ids   []uint64
+	rep   smartstore.QueryReport
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key if present and computed at the
+// given epoch.
+func (c *queryCache) get(key string, epoch uint64) ([]uint64, smartstore.QueryReport, bool) {
+	if c == nil {
+		return nil, smartstore.QueryReport{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, smartstore.QueryReport{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.invalidations++
+		c.misses++
+		return nil, smartstore.QueryReport{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.ids, ent.rep, true
+}
+
+// put stores a result computed at the given epoch, evicting the least
+// recently used entry when full.
+func (c *queryCache) put(key string, epoch uint64, ids []uint64, rep smartstore.QueryReport) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, epoch: epoch, ids: ids, rep: rep}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, ids: ids, rep: rep})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *queryCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       c.ll.Len(),
+		MaxEntries:    c.max,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}
+
+// Cache keys normalize the query so semantically identical requests
+// collide: dimensions are sorted by attribute id and values printed in
+// full precision.
+
+type dim struct {
+	attr   metadata.Attr
+	v1, v2 float64
+}
+
+func sortDims(attrs []metadata.Attr, v1, v2 []float64) []dim {
+	dims := make([]dim, len(attrs))
+	for i, a := range attrs {
+		d := dim{attr: a, v1: v1[i]}
+		if v2 != nil {
+			d.v2 = v2[i]
+		}
+		dims[i] = d
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i].attr < dims[j].attr })
+	return dims
+}
+
+func pointKey(path string) string { return "p|" + path }
+
+func rangeKey(attrs []metadata.Attr, lo, hi []float64) string {
+	var b strings.Builder
+	b.WriteString("r")
+	for _, d := range sortDims(attrs, lo, hi) {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(d.attr)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(d.v2, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+func topKKey(attrs []metadata.Attr, point []float64, k int) string {
+	var b strings.Builder
+	b.WriteString("k|")
+	b.WriteString(strconv.Itoa(k))
+	for _, d := range sortDims(attrs, point, nil) {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(d.attr)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
+	}
+	return b.String()
+}

@@ -1,0 +1,395 @@
+// Package server is the concurrent serving layer over a SmartStore:
+// an HTTP/JSON metadata service (stdlib net/http only) exposing the
+// point/range/top-k query paths and the insert/delete/modify update
+// paths over the wire, in front of the thread-safe Store.
+//
+// Three mechanisms turn the library into a service:
+//
+//   - the Store's own concurrency layer (parallel readers, serialized
+//     writers, a mutation epoch — see the root package);
+//   - an LRU query-result cache keyed by normalized query text and
+//     invalidated wholesale on any epoch bump, so the common read-heavy
+//     metadata workload short-circuits repeated complex queries;
+//   - bounded worker-pool admission: at most Workers requests execute
+//     concurrently and at most MaxQueue more wait; beyond that the
+//     server sheds load with 503 instead of collapsing under it.
+//
+// See DESIGN.md §5 for the endpoint reference with curl examples.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/metadata"
+)
+
+// Options parameterizes a Server. The zero value selects defaults.
+type Options struct {
+	// CacheEntries bounds the query-result cache; 0 selects 1024 and a
+	// negative value disables caching.
+	CacheEntries int
+	// Workers bounds concurrently executing requests; 0 selects
+	// 2×GOMAXPROCS.
+	Workers int
+	// MaxQueue bounds requests waiting for a worker slot; 0 selects
+	// 8×Workers. Waiters beyond the bound are rejected with 503.
+	MaxQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 8 * o.Workers
+	}
+	return o
+}
+
+// Server serves a Store over HTTP. It implements http.Handler.
+type Server struct {
+	store *smartstore.Store
+	opts  Options
+	cache *queryCache
+	mux   *http.ServeMux
+	start time.Time
+
+	sem chan struct{}
+	// inflight counts admitted-or-waiting requests; bounded by
+	// Workers+MaxQueue so at most MaxQueue wait while Workers execute.
+	inflight atomic.Int64
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+
+	// insMu makes id allocation atomic with batch commit: without it,
+	// an auto-allocated id could collide with a concurrent explicit-id
+	// batch that commits first, failing the auto-id client's insert.
+	// Inserts serialize on the store's write lock anyway, so this
+	// costs no concurrency. nextID is only touched under insMu.
+	insMu  sync.Mutex
+	nextID uint64
+}
+
+// New builds a Server over store. Fresh ids for inserts without one are
+// allocated above the store's current maximum.
+func New(store *smartstore.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		store: store,
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		sem:   make(chan struct{}, opts.Workers),
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newQueryCache(opts.CacheEntries)
+	}
+	s.nextID = store.MaxFileID()
+
+	s.mux.HandleFunc("POST /v1/query/point", s.admitted(s.handlePoint))
+	s.mux.HandleFunc("POST /v1/query/range", s.admitted(s.handleRange))
+	s.mux.HandleFunc("POST /v1/query/topk", s.admitted(s.handleTopK))
+	s.mux.HandleFunc("POST /v1/insert", s.admitted(s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.admitted(s.handleDelete))
+	s.mux.HandleFunc("POST /v1/modify", s.admitted(s.handleModify))
+	s.mux.HandleFunc("POST /v1/flush", s.admitted(s.handleFlush))
+	s.mux.HandleFunc("GET /v1/stats", s.admitted(s.handleStats))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errBusy is returned by admission when the wait queue is full.
+var errBusy = errors.New("server at capacity")
+
+// admit blocks until a worker slot frees, the request is cancelled, or
+// the wait queue overflows. On success the caller must invoke release.
+func (s *Server) admit(r *http.Request) (release func(), err error) {
+	if s.inflight.Add(1) > int64(s.opts.Workers+s.opts.MaxQueue) {
+		s.inflight.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem; s.inflight.Add(-1) }, nil
+	case <-r.Context().Done():
+		s.inflight.Add(-1)
+		return nil, r.Context().Err()
+	}
+}
+
+// admitted wraps a handler with admission control, request accounting
+// and error mapping.
+func (s *Server) admitted(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		release, err := s.admit(r)
+		if err != nil {
+			s.rejected.Add(1)
+			if errors.Is(err, errBusy) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+			} else {
+				// Client went away while queued.
+				writeError(w, 499, err)
+			}
+			return
+		}
+		defer release()
+		if err := h(w, r); err != nil {
+			var bad badRequestError
+			if errors.As(err, &bad) {
+				writeError(w, http.StatusBadRequest, err)
+			} else {
+				writeError(w, http.StatusInternalServerError, err)
+			}
+		}
+	}
+}
+
+// badRequestError marks client errors (malformed body, unknown attrs).
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return badRequestError{fmt.Errorf(format, args...)}
+}
+
+// maxBodyBytes bounds request bodies (batch inserts dominate sizing).
+const maxBodyBytes = 16 << 20
+
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// cachedQuery serves a query through the epoch-keyed cache: the epoch
+// is observed before executing so a mutation landing mid-query can only
+// invalidate early, never leave a stale entry behind. key is a thunk so
+// the disabled-cache hot path skips key construction entirely.
+func (s *Server) cachedQuery(key func() string, run func() ([]uint64, smartstore.QueryReport)) QueryResponse {
+	if s.cache == nil {
+		ids, rep := run()
+		return QueryResponse{IDs: ids, Count: len(ids), Report: wireReport(rep)}
+	}
+	k := key()
+	epoch := s.store.Epoch()
+	if ids, rep, ok := s.cache.get(k, epoch); ok {
+		return QueryResponse{IDs: ids, Count: len(ids), Cached: true, Report: wireReport(rep)}
+	}
+	ids, rep := run()
+	s.cache.put(k, epoch, ids, rep)
+	return QueryResponse{IDs: ids, Count: len(ids), Report: wireReport(rep)}
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) error {
+	var req PointRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.Path == "" {
+		return badRequest("point query missing path")
+	}
+	resp := s.cachedQuery(func() string { return pointKey(req.Path) }, func() ([]uint64, smartstore.QueryReport) {
+		return s.store.PointQuery(req.Path)
+	})
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
+	var req RangeRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	attrs, err := parseAttrs(req.Attrs)
+	if err != nil {
+		return badRequest("range query: %v", err)
+	}
+	if len(req.Lo) != len(attrs) || len(req.Hi) != len(attrs) {
+		return badRequest("range query: %d attrs but %d lo / %d hi bounds",
+			len(attrs), len(req.Lo), len(req.Hi))
+	}
+	resp := s.cachedQuery(func() string { return rangeKey(attrs, req.Lo, req.Hi) }, func() ([]uint64, smartstore.QueryReport) {
+		return s.store.RangeQuery(attrs, req.Lo, req.Hi)
+	})
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
+	var req TopKRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	attrs, err := parseAttrs(req.Attrs)
+	if err != nil {
+		return badRequest("topk query: %v", err)
+	}
+	if len(req.Point) != len(attrs) {
+		return badRequest("topk query: %d attrs but %d point values", len(attrs), len(req.Point))
+	}
+	if req.K < 1 {
+		return badRequest("topk query: invalid k %d", req.K)
+	}
+	resp := s.cachedQuery(func() string { return topKKey(attrs, req.Point, req.K) }, func() ([]uint64, smartstore.QueryReport) {
+		return s.store.TopKQuery(attrs, req.Point, req.K)
+	})
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req InsertRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if len(req.Files) == 0 {
+		return badRequest("insert: empty batch")
+	}
+	files := make([]*smartstore.File, len(req.Files))
+	ids := make([]uint64, len(req.Files))
+	s.insMu.Lock()
+	for i, rec := range req.Files {
+		f, err := rec.File()
+		if err != nil {
+			s.insMu.Unlock()
+			return badRequest("insert[%d]: %v", i, err)
+		}
+		if f.ID == 0 {
+			s.nextID++
+			f.ID = s.nextID
+		} else if f.ID > s.nextID {
+			// Keep the allocator above explicit ids so later
+			// auto-assigned ones cannot collide with them.
+			s.nextID = f.ID
+		}
+		files[i] = f
+		ids[i] = f.ID
+	}
+	rep, err := s.store.InsertBatch(files)
+	s.insMu.Unlock()
+	if err != nil {
+		return badRequest("insert: %v", err)
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Inserted: len(files),
+		IDs:      ids,
+		Epoch:    s.store.Epoch(),
+		Report:   wireReport(rep),
+	})
+	return nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	var req DeleteRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.ID == 0 {
+		return badRequest("delete: missing id")
+	}
+	rep, found := s.store.Delete(req.ID)
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Found:  found,
+		Epoch:  s.store.Epoch(),
+		Report: wireReport(rep),
+	})
+	return nil
+}
+
+func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) error {
+	var req ModifyRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.File.ID == 0 {
+		return badRequest("modify: missing id")
+	}
+	// Merge semantics: attributes not named in the request keep their
+	// stored values — a partial attrs map must not zero the rest of
+	// the vector (Store.Modify replaces it wholesale).
+	existing, ok := s.store.FileByID(req.File.ID)
+	if !ok {
+		writeJSON(w, http.StatusOK, MutateResponse{
+			Found: false,
+			Epoch: s.store.Epoch(),
+		})
+		return nil
+	}
+	for name, v := range req.File.Attrs {
+		a, err := metadata.ParseAttr(name)
+		if err != nil {
+			return badRequest("modify: %v", err)
+		}
+		existing.Attrs[a] = v
+	}
+	rep, found := s.store.Modify(&existing)
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Found:  found,
+		Epoch:  s.store.Epoch(),
+		Report: wireReport(rep),
+	})
+	return nil
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) error {
+	s.store.Flush()
+	writeJSON(w, http.StatusOK, FlushResponse{Epoch: s.store.Epoch()})
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st := s.store.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Store: StoreStats{
+			Units:             st.Units,
+			IndexUnits:        st.IndexUnits,
+			TreeHeight:        st.TreeHeight,
+			Files:             st.Files,
+			Trees:             st.Trees,
+			IndexBytesTotal:   st.IndexBytesTotal,
+			IndexBytesPerNode: st.IndexBytesPerNode,
+			Epoch:             s.store.Epoch(),
+		},
+		Server: ServerStats{
+			UptimeSec: time.Since(s.start).Seconds(),
+			Requests:  s.requests.Load(),
+			Rejected:  s.rejected.Load(),
+			Workers:   s.opts.Workers,
+			MaxQueue:  s.opts.MaxQueue,
+			Cache:     s.cache.stats(),
+		},
+	})
+	return nil
+}

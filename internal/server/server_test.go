@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	smartstore "repro"
+	"repro/internal/metadata"
+)
+
+// newTestStore builds a small deterministic store plus its trace set.
+func newTestStore(t testing.TB) (*smartstore.Store, *smartstore.TraceSet) {
+	t.Helper()
+	set, err := smartstore.GenerateTrace("MSN", 1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, set
+}
+
+func newTestServer(t testing.TB, opts Options) (*httptest.Server, *smartstore.Store, *smartstore.TraceSet) {
+	t.Helper()
+	store, set := newTestStore(t)
+	ts := httptest.NewServer(New(store, opts))
+	t.Cleanup(ts.Close)
+	return ts, store, set
+}
+
+// postJSON round-trips one request and decodes into out, returning the
+// status code.
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func defaultNames() []string {
+	return []string{"mtime", "read_bytes", "write_bytes"}
+}
+
+func TestPointEndpoint(t *testing.T) {
+	ts, _, set := newTestServer(t, Options{})
+	want := set.Files[7]
+	var resp QueryResponse
+	if code := postJSON(t, ts.URL+"/v1/query/point", PointRequest{Path: want.Path}, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	found := false
+	for _, id := range resp.IDs {
+		if id == want.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("point query for %q: ids %v missing %d", want.Path, resp.IDs, want.ID)
+	}
+	if resp.Report.Messages == 0 {
+		t.Fatal("point query reported zero messages")
+	}
+}
+
+func TestRangeEndpointMatchesDirectQuery(t *testing.T) {
+	ts, store, _ := newTestServer(t, Options{CacheEntries: -1})
+	attrs := []metadata.Attr{metadata.AttrMTime, metadata.AttrReadBytes}
+	lo := []float64{0, 0}
+	hi := []float64{1e9, 1e12}
+
+	var resp QueryResponse
+	if code := postJSON(t, ts.URL+"/v1/query/range",
+		RangeRequest{Attrs: []string{"mtime", "read_bytes"}, Lo: lo, Hi: hi}, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	direct, _ := store.RangeQuery(attrs, lo, hi)
+	if len(resp.IDs) != len(direct) {
+		t.Fatalf("served %d ids, direct query %d", len(resp.IDs), len(direct))
+	}
+	if resp.Count != len(resp.IDs) {
+		t.Fatalf("count %d != len(ids) %d", resp.Count, len(resp.IDs))
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts, _, set := newTestServer(t, Options{})
+	anchor := set.Files[11]
+	req := TopKRequest{
+		Attrs: defaultNames(),
+		Point: []float64{
+			anchor.Attrs[metadata.AttrMTime],
+			anchor.Attrs[metadata.AttrReadBytes],
+			anchor.Attrs[metadata.AttrWriteBytes],
+		},
+		K: 8,
+	}
+	var resp QueryResponse
+	if code := postJSON(t, ts.URL+"/v1/query/topk", req, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.IDs) != 8 {
+		t.Fatalf("top-8 returned %d ids", len(resp.IDs))
+	}
+}
+
+func TestInsertDeleteModifyRoundTrip(t *testing.T) {
+	ts, store, set := newTestServer(t, Options{})
+	src := set.Files[3]
+	maxBefore := store.MaxFileID()
+
+	// Batch insert: one explicit id, one server-assigned.
+	rec := RecordFromFile(src)
+	rec.ID = 0
+	rec.Path = "/served/auto.dat"
+	explicit := RecordFromFile(src)
+	explicit.ID = 999_999
+	explicit.Path = "/served/explicit.dat"
+	var ins InsertResponse
+	if code := postJSON(t, ts.URL+"/v1/insert", InsertRequest{Files: []FileRecord{rec, explicit}}, &ins); code != 200 {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.Inserted != 2 || len(ins.IDs) != 2 {
+		t.Fatalf("insert response %+v", ins)
+	}
+	if ins.IDs[0] <= maxBefore {
+		t.Fatalf("auto id %d not allocated above pre-insert max %d", ins.IDs[0], maxBefore)
+	}
+	if ins.IDs[1] != 999_999 {
+		t.Fatalf("explicit id not honoured: %d", ins.IDs[1])
+	}
+	if ins.Epoch == 0 {
+		t.Fatal("insert did not bump epoch")
+	}
+
+	// Auto-allocated ids must stay above any explicit id seen so far —
+	// a later id-less insert cannot collide with 999_999.
+	later := RecordFromFile(src)
+	later.ID = 0
+	later.Path = "/served/after-explicit.dat"
+	var ins2 InsertResponse
+	if code := postJSON(t, ts.URL+"/v1/insert", InsertRequest{Files: []FileRecord{later}}, &ins2); code != 200 {
+		t.Fatalf("second insert status %d", code)
+	}
+	if ins2.IDs[0] <= 999_999 {
+		t.Fatalf("auto id %d collides with explicit id range", ins2.IDs[0])
+	}
+
+	// Inserted files become point-query visible after propagation.
+	var fl FlushResponse
+	if code := postJSON(t, ts.URL+"/v1/flush", struct{}{}, &fl); code != 200 {
+		t.Fatalf("flush status %d", code)
+	}
+	var pt QueryResponse
+	if code := postJSON(t, ts.URL+"/v1/query/point", PointRequest{Path: "/served/auto.dat"}, &pt); code != 200 {
+		t.Fatalf("point status %d", code)
+	}
+	if len(pt.IDs) != 1 || pt.IDs[0] != ins.IDs[0] {
+		t.Fatalf("point after insert+flush: %v want [%d]", pt.IDs, ins.IDs[0])
+	}
+
+	// Modify the explicit file with a partial attrs map: only the named
+	// attribute changes, the rest of the vector keeps its stored values.
+	var mod MutateResponse
+	partial := FileRecord{ID: 999_999, Attrs: map[string]float64{"size": 1234}}
+	if code := postJSON(t, ts.URL+"/v1/modify", ModifyRequest{File: partial}, &mod); code != 200 {
+		t.Fatalf("modify status %d", code)
+	}
+	if !mod.Found {
+		t.Fatal("modify did not find inserted file")
+	}
+	got, ok := store.FileByID(999_999)
+	if !ok {
+		t.Fatal("modified file vanished")
+	}
+	if got.Attrs[metadata.AttrSize] != 1234 {
+		t.Fatalf("modify did not apply size: %v", got.Attrs[metadata.AttrSize])
+	}
+	if got.Attrs[metadata.AttrMTime] != src.Attrs[metadata.AttrMTime] {
+		t.Fatalf("partial modify zeroed mtime: %v want %v",
+			got.Attrs[metadata.AttrMTime], src.Attrs[metadata.AttrMTime])
+	}
+
+	// Delete it; a second delete reports found=false.
+	var del MutateResponse
+	if code := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{ID: 999_999}, &del); code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	if !del.Found {
+		t.Fatal("delete did not find file")
+	}
+	if code := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{ID: 999_999}, &del); code != 200 {
+		t.Fatalf("re-delete status %d", code)
+	}
+	if del.Found {
+		t.Fatal("second delete of same id reported found")
+	}
+}
+
+func TestCacheHitAndInvalidation(t *testing.T) {
+	ts, _, set := newTestServer(t, Options{CacheEntries: 64})
+	req := RangeRequest{Attrs: defaultNames(),
+		Lo: []float64{0, 0, 0}, Hi: []float64{1e9, 1e12, 1e12}}
+
+	var first, second, third QueryResponse
+	postJSON(t, ts.URL+"/v1/query/range", req, &first)
+	if first.Cached {
+		t.Fatal("first execution reported cached")
+	}
+	postJSON(t, ts.URL+"/v1/query/range", req, &second)
+	if !second.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	if len(second.IDs) != len(first.IDs) {
+		t.Fatalf("cached result differs: %d vs %d ids", len(second.IDs), len(first.IDs))
+	}
+
+	// Any mutation bumps the epoch and invalidates.
+	rec := RecordFromFile(set.Files[0])
+	rec.ID = 0
+	rec.Path = "/cache/invalidate.dat"
+	var ins InsertResponse
+	postJSON(t, ts.URL+"/v1/insert", InsertRequest{Files: []FileRecord{rec}}, &ins)
+
+	postJSON(t, ts.URL+"/v1/query/range", req, &third)
+	if third.Cached {
+		t.Fatal("query after mutation still served from cache")
+	}
+
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Server.Cache
+	if c.Hits < 1 || c.Invalidations < 1 {
+		t.Fatalf("cache stats %+v: want ≥1 hit and ≥1 invalidation", c)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, store, _ := newTestServer(t, Options{})
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	direct := store.Stats()
+	if st.Store.Files != direct.Files || st.Store.Units != direct.Units {
+		t.Fatalf("stats mismatch: wire %+v direct %+v", st.Store, direct)
+	}
+	if st.Server.Workers <= 0 {
+		t.Fatalf("worker pool not reported: %+v", st.Server)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"unknown attr", "/v1/query/range",
+			RangeRequest{Attrs: []string{"nonsense"}, Lo: []float64{0}, Hi: []float64{1}}},
+		{"dim mismatch", "/v1/query/range",
+			RangeRequest{Attrs: []string{"mtime"}, Lo: []float64{0, 1}, Hi: []float64{1}}},
+		{"bad k", "/v1/query/topk",
+			TopKRequest{Attrs: []string{"mtime"}, Point: []float64{0}, K: 0}},
+		{"empty point", "/v1/query/point", PointRequest{}},
+		{"empty insert", "/v1/insert", InsertRequest{}},
+		{"insert missing path", "/v1/insert",
+			InsertRequest{Files: []FileRecord{{Attrs: map[string]float64{"size": 1}}}}},
+		{"insert duplicate of stored id", "/v1/insert",
+			InsertRequest{Files: []FileRecord{{ID: 5, Path: "/dup/stored.dat"}}}},
+		{"insert duplicate within batch", "/v1/insert",
+			InsertRequest{Files: []FileRecord{
+				{ID: 777_777, Path: "/dup/a.dat"}, {ID: 777_777, Path: "/dup/b.dat"}}}},
+		{"delete missing id", "/v1/delete", DeleteRequest{}},
+	}
+	for _, tc := range cases {
+		if code := postJSON(t, ts.URL+tc.path, tc.body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+
+	// Wrong method on a POST route.
+	resp, err := http.Get(ts.URL + "/v1/query/point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestAdmissionShedsLoadWhenSaturated(t *testing.T) {
+	store, _ := newTestStore(t)
+	s := New(store, Options{Workers: 1, MaxQueue: 1})
+
+	// Occupy the single worker slot and fill the wait queue, then the
+	// next admission must be rejected rather than queued. inflight
+	// counts executing + waiting, so Workers+MaxQueue saturates it.
+	s.sem <- struct{}{}
+	s.inflight.Add(int64(s.opts.Workers + s.opts.MaxQueue))
+	req := httptest.NewRequest("POST", "/v1/query/point", nil)
+	if _, err := s.admit(req); err != errBusy {
+		t.Fatalf("saturated admit: err %v, want errBusy", err)
+	}
+	s.inflight.Add(-int64(s.opts.Workers + s.opts.MaxQueue))
+
+	// A queued request whose client goes away is released with the
+	// context error, not left blocked.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.admit(req.WithContext(ctx)); err != context.Canceled {
+		t.Fatalf("cancelled admit: err %v, want context.Canceled", err)
+	}
+	<-s.sem
+
+	// With the slot free again, admission succeeds.
+	release, err := s.admit(httptest.NewRequest("POST", "/v1/query/point", nil))
+	if err != nil {
+		t.Fatalf("free admit: %v", err)
+	}
+	release()
+}
+
+func TestQueryCacheLRUAndEpoch(t *testing.T) {
+	c := newQueryCache(2)
+	rep := smartstore.QueryReport{Messages: 3}
+	c.put("a", 1, []uint64{1}, rep)
+	c.put("b", 1, []uint64{2}, rep)
+
+	if _, _, ok := c.get("a", 1); !ok {
+		t.Fatal("a missing")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.put("c", 1, []uint64{3}, rep)
+	if _, _, ok := c.get("b", 1); ok {
+		t.Fatal("b not evicted as LRU")
+	}
+	if _, _, ok := c.get("a", 1); !ok {
+		t.Fatal("a evicted despite being MRU")
+	}
+
+	// Epoch mismatch invalidates.
+	if _, _, ok := c.get("a", 2); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	st := c.stats()
+	if st.Invalidations != 1 || st.Evictions != 1 {
+		t.Fatalf("cache stats %+v", st)
+	}
+
+	// A nil cache (caching disabled) is inert.
+	var disabled *queryCache
+	disabled.put("x", 1, nil, rep)
+	if _, _, ok := disabled.get("x", 1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	a := rangeKey([]metadata.Attr{metadata.AttrMTime, metadata.AttrSize},
+		[]float64{1, 3}, []float64{2, 4})
+	b := rangeKey([]metadata.Attr{metadata.AttrSize, metadata.AttrMTime},
+		[]float64{3, 1}, []float64{4, 2})
+	if a != b {
+		t.Fatalf("permuted range dims key differently:\n%s\n%s", a, b)
+	}
+	k1 := topKKey([]metadata.Attr{metadata.AttrSize, metadata.AttrMTime}, []float64{5, 6}, 3)
+	k2 := topKKey([]metadata.Attr{metadata.AttrMTime, metadata.AttrSize}, []float64{6, 5}, 3)
+	if k1 != k2 {
+		t.Fatalf("permuted topk dims key differently:\n%s\n%s", k1, k2)
+	}
+	if topKKey([]metadata.Attr{metadata.AttrSize}, []float64{5}, 3) ==
+		topKKey([]metadata.Attr{metadata.AttrSize}, []float64{5}, 4) {
+		t.Fatal("k not part of topk key")
+	}
+}

@@ -1,0 +1,205 @@
+// Wire format of the smartstored HTTP/JSON metadata API, shared by the
+// server handlers and the typed client (internal/client). Attribute
+// dimensions travel as their short names ("mtime", "read_bytes", ...);
+// values are raw attribute units, exactly like the library API. See
+// DESIGN.md §5 for the endpoint reference with curl examples.
+package server
+
+import (
+	"fmt"
+
+	smartstore "repro"
+	"repro/internal/metadata"
+)
+
+// Report is the wire form of smartstore.QueryReport: the virtual-time
+// accounting of one operation.
+type Report struct {
+	LatencySec        float64 `json:"latency_sec"`
+	Messages          int64   `json:"messages"`
+	Hops              int     `json:"hops"`
+	UnitsSearched     int     `json:"units_searched"`
+	VersionChecked    int     `json:"version_checked,omitempty"`
+	VersionLatencySec float64 `json:"version_latency_sec,omitempty"`
+}
+
+func wireReport(r smartstore.QueryReport) Report {
+	return Report{
+		LatencySec:        r.Latency,
+		Messages:          r.Messages,
+		Hops:              r.Hops,
+		UnitsSearched:     r.UnitsSearched,
+		VersionChecked:    r.VersionChecked,
+		VersionLatencySec: r.VersionLatency,
+	}
+}
+
+// FileRecord is one file's metadata on the wire. A zero ID on insert
+// asks the server to allocate one; the response echoes the assignment.
+type FileRecord struct {
+	ID    uint64             `json:"id,omitempty"`
+	Path  string             `json:"path"`
+	Attrs map[string]float64 `json:"attrs"`
+}
+
+// RecordFromFile converts a stored file to its wire form.
+func RecordFromFile(f *metadata.File) FileRecord {
+	attrs := make(map[string]float64, int(metadata.NumAttrs))
+	for a := metadata.Attr(0); a < metadata.NumAttrs; a++ {
+		attrs[a.String()] = f.Attrs[a]
+	}
+	return FileRecord{ID: f.ID, Path: f.Path, Attrs: attrs}
+}
+
+// File converts a wire record to a metadata file, resolving attribute
+// names. Unnamed attributes default to zero.
+func (r FileRecord) File() (*metadata.File, error) {
+	if r.Path == "" {
+		return nil, fmt.Errorf("file record missing path")
+	}
+	f := &metadata.File{ID: r.ID, Path: r.Path}
+	for name, v := range r.Attrs {
+		a, err := metadata.ParseAttr(name)
+		if err != nil {
+			return nil, err
+		}
+		f.Attrs[a] = v
+	}
+	return f, nil
+}
+
+// parseAttrs resolves a wire attribute-name list.
+func parseAttrs(names []string) ([]metadata.Attr, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty attribute list")
+	}
+	attrs := make([]metadata.Attr, len(names))
+	for i, n := range names {
+		a, err := metadata.ParseAttr(n)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = a
+	}
+	return attrs, nil
+}
+
+// AttrNames converts an attribute subset to its wire names.
+func AttrNames(attrs []metadata.Attr) []string {
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.String()
+	}
+	return names
+}
+
+// PointRequest asks for the files stored under an exact pathname.
+type PointRequest struct {
+	Path string `json:"path"`
+}
+
+// RangeRequest asks for all files with Attrs[i] in [Lo[i], Hi[i]].
+type RangeRequest struct {
+	Attrs []string  `json:"attrs"`
+	Lo    []float64 `json:"lo"`
+	Hi    []float64 `json:"hi"`
+}
+
+// TopKRequest asks for the K files nearest to Point over Attrs.
+type TopKRequest struct {
+	Attrs []string  `json:"attrs"`
+	Point []float64 `json:"point"`
+	K     int       `json:"k"`
+}
+
+// QueryResponse answers point, range and top-k queries. Cached reports
+// whether the result was served from the query cache (in which case the
+// report replays the accounting of the original execution).
+type QueryResponse struct {
+	IDs    []uint64 `json:"ids"`
+	Count  int      `json:"count"`
+	Cached bool     `json:"cached"`
+	Report Report   `json:"report"`
+}
+
+// InsertRequest inserts a batch of files in one admission.
+type InsertRequest struct {
+	Files []FileRecord `json:"files"`
+}
+
+// InsertResponse echoes the ids assigned to the batch, in input order.
+type InsertResponse struct {
+	Inserted int      `json:"inserted"`
+	IDs      []uint64 `json:"ids"`
+	Epoch    uint64   `json:"epoch"`
+	Report   Report   `json:"report"`
+}
+
+// DeleteRequest removes a file by id.
+type DeleteRequest struct {
+	ID uint64 `json:"id"`
+}
+
+// ModifyRequest updates an existing file's attributes with merge
+// semantics: attributes not named in File.Attrs keep their stored
+// values, so a partial map updates only what it names. Path is
+// immutable on modify and ignored.
+type ModifyRequest struct {
+	File FileRecord `json:"file"`
+}
+
+// MutateResponse answers delete and modify.
+type MutateResponse struct {
+	Found  bool   `json:"found"`
+	Epoch  uint64 `json:"epoch"`
+	Report Report `json:"report"`
+}
+
+// FlushResponse answers an explicit replica propagation.
+type FlushResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// StoreStats is the wire form of smartstore.Stats plus the mutation
+// epoch.
+type StoreStats struct {
+	Units             int    `json:"units"`
+	IndexUnits        int    `json:"index_units"`
+	TreeHeight        int    `json:"tree_height"`
+	Files             int    `json:"files"`
+	Trees             int    `json:"trees"`
+	IndexBytesTotal   int    `json:"index_bytes_total"`
+	IndexBytesPerNode int    `json:"index_bytes_per_node"`
+	Epoch             uint64 `json:"epoch"`
+}
+
+// CacheStats reports query-cache effectiveness.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	MaxEntries    int    `json:"max_entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// ServerStats reports the serving layer's own counters.
+type ServerStats struct {
+	UptimeSec float64    `json:"uptime_sec"`
+	Requests  uint64     `json:"requests"`
+	Rejected  uint64     `json:"rejected"`
+	Workers   int        `json:"workers"`
+	MaxQueue  int        `json:"max_queue"`
+	Cache     CacheStats `json:"cache"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Store  StoreStats  `json:"store"`
+	Server ServerStats `json:"server"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -28,6 +28,8 @@ package smartstore
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/metadata"
@@ -109,13 +111,55 @@ type Config struct {
 }
 
 // Store is a deployed SmartStore instance.
+//
+// A Store is safe for concurrent use: queries proceed under a shared
+// lock while mutations (Insert, InsertBatch, Delete, Modify, Flush)
+// are serialized under an exclusive lock. Within one deployment tree
+// the virtual-time accounting (event loop, RNG, lazy id cache) is
+// additionally serialized per cluster, so concurrent queries over
+// different attribute subsets — which auto-configuration routes to
+// different specialized trees — run in parallel end to end, while
+// queries sharing a tree interleave only their simulated phase.
 type Store struct {
 	cfg      Config
 	norm     *metadata.Normalizer
 	primary  *cluster.Cluster
 	forest   *semtree.Forest
 	clusters map[*semtree.Tree]*cluster.Cluster
+
+	// mu keeps tree structure stable: readers share it, mutators hold
+	// it exclusively. qmu serializes each deployment's simulation
+	// machinery, which every query mutates (sim counters, home-unit
+	// RNG, lazy id cache). epoch counts committed mutations so result
+	// caches can invalidate on change (see Epoch).
+	mu    sync.RWMutex
+	qmu   map[*cluster.Cluster]*sync.Mutex
+	epoch atomic.Uint64
 }
+
+// initLocks builds the per-deployment query mutexes; callers own s.
+func (s *Store) initLocks() {
+	s.qmu = make(map[*cluster.Cluster]*sync.Mutex, len(s.clusters))
+	for _, c := range s.clusters {
+		s.qmu[c] = &sync.Mutex{}
+	}
+}
+
+// runQuery serializes one deployment's virtual-time machinery around f.
+// The store-level read lock must already be held.
+func (s *Store) runQuery(c *cluster.Cluster, f func()) {
+	m := s.qmu[c]
+	m.Lock()
+	defer m.Unlock()
+	f()
+}
+
+// Epoch returns the store's mutation epoch. It increments on every
+// mutation that can change a query's answer — inserts, effectual
+// deletes, modifies, and flushes (no-ops leave it untouched); a cache
+// keyed on query content can pair each entry with the epoch observed
+// before computing it and treat any mismatch as invalidation.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // QueryReport carries the accounting of one operation: virtual latency,
 // network messages, routing hops (groups beyond the first), and
@@ -187,6 +231,7 @@ func Build(files []*File, cfg Config) (*Store, error) {
 			s.clusters[t] = cluster.New(t, clusterCfg)
 		}
 	}
+	s.initLocks()
 	return s, nil
 }
 
@@ -222,42 +267,112 @@ func sameAttrs(a, b []Attr) bool {
 
 // PointQuery looks up file metadata by exact pathname (§3.3.3).
 func (s *Store) PointQuery(filename string) ([]uint64, QueryReport) {
-	ids, res := s.primary.Point(query.Point{Filename: filename})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pointQuery(filename)
+}
+
+// pointQuery runs a point query with the read lock already held.
+func (s *Store) pointQuery(filename string) ([]uint64, QueryReport) {
+	var ids []uint64
+	var res cluster.Result
+	s.runQuery(s.primary, func() {
+		ids, res = s.primary.Point(query.Point{Filename: filename})
+	})
 	return ids, fromResult(res)
 }
 
 // RangeQuery finds all files whose attrs[i] lies within [lo[i], hi[i]]
 // (§3.3.1). Values are in raw attribute units.
 func (s *Store) RangeQuery(attrs []Attr, lo, hi []float64) ([]uint64, QueryReport) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	q := query.NewRange(attrs, lo, hi)
 	c := s.clusterFor(attrs)
 	var ids []uint64
 	var res cluster.Result
-	if s.cfg.Mode == OnLine {
-		ids, res = c.RangeOnline(q)
-	} else {
-		ids, res = c.RangeOffline(q)
-	}
+	s.runQuery(c, func() {
+		if s.cfg.Mode == OnLine {
+			ids, res = c.RangeOnline(q)
+		} else {
+			ids, res = c.RangeOffline(q)
+		}
+	})
 	return ids, fromResult(res)
 }
 
 // TopKQuery finds the k files whose attributes are closest to the given
 // point (§3.3.2).
 func (s *Store) TopKQuery(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.topKQuery(attrs, point, k)
+}
+
+// topKQuery runs a top-k query with the read lock already held.
+func (s *Store) topKQuery(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
 	q := query.NewTopK(attrs, point, k)
 	c := s.clusterFor(attrs)
 	var ids []uint64
 	var res cluster.Result
-	if s.cfg.Mode == OnLine {
-		ids, res = c.TopKOnline(q)
-	} else {
-		ids, res = c.TopKOffline(q)
-	}
+	s.runQuery(c, func() {
+		if s.cfg.Mode == OnLine {
+			ids, res = c.TopKOnline(q)
+		} else {
+			ids, res = c.TopKOffline(q)
+		}
+	})
 	return ids, fromResult(res)
 }
 
-// Insert routes a new file's metadata into every deployed tree.
-func (s *Store) Insert(f *File) QueryReport {
+// Insert routes a new file's metadata into every deployed tree. Like
+// InsertBatch, it rejects a zero id or an id that is already stored —
+// the serving layer treats ids as unique, so every insert path
+// enforces the invariant.
+func (s *Store) Insert(f *File) (QueryReport, error) {
+	return s.InsertBatch([]*File{f})
+}
+
+// InsertBatch inserts files under one exclusive critical section and
+// one epoch bump — the admission path for bulk loads, where taking the
+// write lock per record would let queries interleave mid-batch. Every
+// file must carry an id that is neither already stored nor repeated in
+// the batch; a violation rejects the whole batch before anything is
+// inserted (validation and insert share the critical section, so the
+// check cannot race another writer). The returned report aggregates
+// virtual latency and messages over the whole batch.
+func (s *Store) InsertBatch(files []*File) (QueryReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(files) == 0 {
+		return QueryReport{}, nil
+	}
+	seen := make(map[uint64]bool, len(files))
+	for _, f := range files {
+		if f.ID == 0 {
+			return QueryReport{}, fmt.Errorf("smartstore: insert without id (path %q)", f.Path)
+		}
+		if seen[f.ID] || s.primary.HasFile(f.ID) {
+			return QueryReport{}, fmt.Errorf("smartstore: duplicate file id %d", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	defer s.epoch.Add(1)
+	var total QueryReport
+	for _, f := range files {
+		rep := s.insert(f)
+		total.Latency += rep.Latency
+		total.Messages += rep.Messages
+		total.Hops += rep.Hops
+		total.UnitsSearched += rep.UnitsSearched
+		total.VersionChecked += rep.VersionChecked
+		total.VersionLatency += rep.VersionLatency
+	}
+	return total, nil
+}
+
+// insert routes one file with the write lock already held.
+func (s *Store) insert(f *File) QueryReport {
 	var rep QueryReport
 	for _, c := range s.clusters {
 		res := c.InsertFile(f)
@@ -268,8 +383,12 @@ func (s *Store) Insert(f *File) QueryReport {
 	return rep
 }
 
-// Delete removes a file by id, reporting whether it existed.
+// Delete removes a file by id, reporting whether it existed. The
+// epoch advances only when a file was actually removed — a no-op
+// delete must not invalidate query caches.
 func (s *Store) Delete(id uint64) (QueryReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var rep QueryReport
 	found := false
 	for _, c := range s.clusters {
@@ -279,11 +398,17 @@ func (s *Store) Delete(id uint64) (QueryReport, bool) {
 			found = ok
 		}
 	}
+	if found {
+		s.epoch.Add(1)
+	}
 	return rep, found
 }
 
-// Modify updates an existing file's attributes.
+// Modify updates an existing file's attributes. The epoch advances
+// only when the file existed.
 func (s *Store) Modify(f *File) (QueryReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var rep QueryReport
 	found := false
 	for _, c := range s.clusters {
@@ -293,14 +418,31 @@ func (s *Store) Modify(f *File) (QueryReport, bool) {
 			found = ok
 		}
 	}
+	if found {
+		s.epoch.Add(1)
+	}
 	return rep, found
 }
 
 // Flush propagates all pending changes to replicas (lazy updates are
-// otherwise threshold-driven, §3.4).
+// otherwise threshold-driven, §3.4). The epoch advances only when
+// something was pending — propagating nothing changes no query's
+// answer.
 func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
 	for _, c := range s.clusters {
+		for _, g := range c.Tree.FirstLevelIndexUnits() {
+			if c.PendingCount(g) > 0 {
+				changed = true
+				break
+			}
+		}
 		c.PropagateAll()
+	}
+	if changed {
+		s.epoch.Add(1)
 	}
 }
 
@@ -317,6 +459,8 @@ type Stats struct {
 
 // Stats reports structural statistics of the store.
 func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	storage, index := s.primary.Tree.CountNodes()
 	st := Stats{
 		Units:      storage,
@@ -341,6 +485,43 @@ func GenerateTrace(name string, nFiles int, seed uint64) (*TraceSet, error) {
 	}
 	return spec.Generate(nFiles, seed), nil
 }
+
+// FileByID returns a copy of the stored file with the given id.
+func (s *Store) FileByID(id uint64) (File, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out File
+	ok := false
+	s.runQuery(s.primary, func() {
+		// The id index may be lazily built here — cluster-state
+		// mutation needing the same serialization as queries.
+		if f, found := s.primary.FileByID(id); found {
+			out = *f
+			ok = true
+		}
+	})
+	return out, ok
+}
+
+// MaxFileID returns the largest file id currently stored, or 0 for an
+// empty deployment — the base a serving layer allocates fresh ids from.
+func (s *Store) MaxFileID() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var max uint64
+	for _, f := range s.primary.Tree.AllFiles() {
+		if f.ID > max {
+			max = f.ID
+		}
+	}
+	return max
+}
+
+// ParseAttr resolves an attribute's short name ("size", "ctime",
+// "mtime", "atime", "read_bytes", "write_bytes", "access_freq") to its
+// Attr — the inverse of Attr.String, shared by the wire format and the
+// CLIs.
+func ParseAttr(name string) (Attr, error) { return metadata.ParseAttr(name) }
 
 // DefaultCostModel exposes the calibrated virtual cost model so callers
 // can reason about reported latencies.

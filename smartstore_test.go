@@ -117,9 +117,15 @@ func TestInsertDeleteModifyLifecycle(t *testing.T) {
 	nf := &smartstore.File{ID: 777777, Path: "/lifecycle/test.bin"}
 	nf.Attrs = set.Files[0].Attrs
 
-	rep := store.Insert(nf)
+	rep, err := store.Insert(nf)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
 	if rep.Latency <= 0 {
 		t.Fatal("insert latency missing")
+	}
+	if _, err := store.Insert(nf); err == nil {
+		t.Fatal("re-inserting an existing id did not error")
 	}
 	ids, _ := store.PointQuery(nf.Path)
 	found := false
@@ -151,7 +157,9 @@ func TestFlushMakesInsertsVisibleWithoutVersioning(t *testing.T) {
 	})
 	nf := &smartstore.File{ID: 888888, Path: "/flush/test.bin"}
 	nf.Attrs = set.Files[0].Attrs
-	store.Insert(nf)
+	if _, err := store.Insert(nf); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
 	ids, _ := store.PointQuery(nf.Path)
 	for _, id := range ids {
 		if id == nf.ID {

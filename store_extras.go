@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"repro/internal/cluster"
-	"repro/internal/query"
 	"repro/internal/semtree"
 	"repro/internal/snapshot"
 )
@@ -15,6 +14,8 @@ import (
 // identically. Specialized auto-configuration trees are rebuilt on
 // load, not persisted.
 func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return snapshot.Capture(s.primary.Tree).Write(w)
 }
 
@@ -48,7 +49,24 @@ func Load(r io.Reader, cfg Config) (*Store, error) {
 		clusters: map[*semtree.Tree]*cluster.Cluster{tree: cl},
 	}
 	st.cfg.Attrs = tree.Attrs
+	st.initLocks()
 	return st, nil
+}
+
+// anchorFor resolves a path to its stored file record via a point query
+// and the cluster's id index. The read lock must already be held.
+func (s *Store) anchorFor(path string) *File {
+	matches, _ := s.pointQuery(path)
+	if len(matches) == 0 {
+		return nil
+	}
+	var anchor *File
+	s.runQuery(s.primary, func() {
+		// FileByID may lazily build the id index — a mutation of
+		// cluster state that needs the same serialization as queries.
+		anchor, _ = s.primary.FileByID(matches[0])
+	})
+	return anchor
 }
 
 // Correlated returns the k files most semantically correlated with the
@@ -57,18 +75,9 @@ func Load(r io.Reader, cfg Config) (*Store, error) {
 // most correlated files to be prefetched"). It returns ok=false when
 // the path is unknown.
 func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
-	matches, _ := s.primary.Point(query.Point{Filename: path})
-	if len(matches) == 0 {
-		return nil, QueryReport{}, false
-	}
-	var anchor *File
-	for _, leaf := range s.primary.Tree.Leaves() {
-		for _, f := range leaf.Unit.Files {
-			if f.ID == matches[0] {
-				anchor = f
-			}
-		}
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	anchor := s.anchorFor(path)
 	if anchor == nil {
 		return nil, QueryReport{}, false
 	}
@@ -78,7 +87,7 @@ func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, o
 		point[i] = anchor.Attrs[a]
 	}
 	// k+1 then drop the anchor itself.
-	got, r := s.TopKQuery(attrs, point, k+1)
+	got, r := s.topKQuery(attrs, point, k+1)
 	out := make([]uint64, 0, k)
 	for _, id := range got {
 		if id != anchor.ID && len(out) < k {
@@ -93,24 +102,15 @@ func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, o
 // the deduplication narrowing of §1.1. The caller confirms true
 // duplicates by content comparison.
 func (s *Store) DuplicateCandidates(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
-	matches, _ := s.primary.Point(query.Point{Filename: path})
-	if len(matches) == 0 {
-		return nil, QueryReport{}, false
-	}
-	var anchor *File
-	for _, leaf := range s.primary.Tree.Leaves() {
-		for _, f := range leaf.Unit.Files {
-			if f.ID == matches[0] {
-				anchor = f
-			}
-		}
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	anchor := s.anchorFor(path)
 	if anchor == nil {
 		return nil, QueryReport{}, false
 	}
 	attrs := []Attr{AttrSize, AttrCTime}
 	point := []float64{anchor.Attrs[AttrSize], anchor.Attrs[AttrCTime]}
-	got, r := s.TopKQuery(attrs, point, k+1)
+	got, r := s.topKQuery(attrs, point, k+1)
 	out := make([]uint64, 0, k)
 	for _, id := range got {
 		if id != anchor.ID && len(out) < k {
