@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -105,10 +106,22 @@ func runServiceBench(o serveBenchOpts) int {
 	wall := time.Since(start)
 
 	var all []opSample
+	errs := 0
 	for _, s := range samples {
 		all = append(all, s...)
+		for _, op := range s {
+			if op.err {
+				errs++
+			}
+		}
 	}
 	printServiceReport(all, wall, o, cl)
+	// Failed operations fail the run — CI uses this mode as a smoke
+	// gate on the serving path, so a broken endpoint must not exit 0.
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "smartbench: %d/%d operations failed\n", errs, len(all))
+		return 1
+	}
 	return 0
 }
 
@@ -138,12 +151,31 @@ func benchWorker(cl *client.Client, set *smartstore.TraceSet, o serveBenchOpts,
 				resp, err := cl.Point(q.Filename)
 				s.err = err != nil
 				s.cached = err == nil && resp.Cached
-			case 2, 3, 4, 5: // 40% range
+			case 2, 3, 4: // 30% range
 				s.op = "range"
 				q := qg.Range(0.1)
 				resp, err := cl.Range(attrs, q.Lo, q.Hi)
 				s.err = err != nil
 				s.cached = err == nil && resp.Cached
+			case 5: // 10% mixed batch through the multiplexed endpoint
+				s.op = "batch"
+				pq, rq, tq := qg.Point(0.8), qg.Range(0.1), qg.TopK(8)
+				resp, err := cl.QueryBatch(context.Background(), []smartstore.Query{
+					smartstore.NewPointQuery(pq.Filename),
+					smartstore.NewRangeQuery(attrs, rq.Lo, rq.Hi),
+					smartstore.NewTopKQuery(attrs, tq.Point, tq.K),
+				})
+				s.err = err != nil
+				if err == nil {
+					for _, qr := range resp.Results {
+						if qr.Error != "" {
+							s.err = true
+						}
+						if qr.Cached {
+							s.cached = true
+						}
+					}
+				}
 			default: // 40% top-k
 				s.op = "topk"
 				q := qg.TopK(8)
@@ -175,7 +207,7 @@ func printServiceReport(all []opSample, wall time.Duration, o serveBenchOpts, cl
 		o.clients, len(all), o.mutate, wall.Seconds(), float64(len(all))/wall.Seconds())
 	fmt.Printf("%-8s %8s %6s %8s %10s %10s %10s %10s\n",
 		"op", "count", "err", "cached", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
-	for _, op := range []string{"point", "range", "topk", "insert"} {
+	for _, op := range []string{"point", "range", "topk", "batch", "insert"} {
 		ss := byOp[op]
 		if len(ss) == 0 {
 			continue

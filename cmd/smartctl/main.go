@@ -3,19 +3,22 @@
 // library for exploration and demos. With -remote it routes the same
 // verbs through a running smartstored daemon instead of building a
 // local store, so one binary exercises both the library and the
-// service path.
+// service path. Both paths run through the unified query API
+// (Store.Do locally, POST /v1/query remotely), so the per-query
+// options -records, -limit and -mode apply everywhere.
 //
 // Usage:
 //
 //	smartctl -trace MSN -files 5000 stats
 //	smartctl -trace MSN -files 5000 point /MSN/u010/d03/f0000123.dat
 //	smartctl -trace HP range mtime=3600:86400 read_bytes=3e7:5e7
-//	smartctl -trace EECS topk 8 mtime=41000 read_bytes=2.68e7 write_bytes=6.57e7
+//	smartctl -trace EECS -records topk 8 mtime=41000 read_bytes=2.68e7 write_bytes=6.57e7
 //	smartctl -remote localhost:7070 stats
-//	smartctl -remote localhost:7070 range mtime=3600:86400
+//	smartctl -remote localhost:7070 -records -limit 20 range mtime=3600:86400
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,7 @@ import (
 
 	smartstore "repro"
 	"repro/internal/client"
+	"repro/internal/server"
 )
 
 func main() {
@@ -36,6 +40,9 @@ func main() {
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	savePath := flag.String("save", "", "write the built store to a snapshot file before querying")
 	remote := flag.String("remote", "", "route verbs through a smartstored daemon at this address")
+	records := flag.Bool("records", false, "inline full file records in query answers")
+	limit := flag.Int("limit", 0, "truncate query answers to at most this many ids (0 = unlimited)")
+	queryMode := flag.String("mode", "", "per-query mode override: offline or online (empty = store default)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -43,8 +50,13 @@ func main() {
 		usage()
 	}
 
+	opts, err := queryOptions(*records, *limit, *queryMode)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *remote != "" {
-		runRemote(*remote, args)
+		runRemote(*remote, args, opts)
 		return
 	}
 
@@ -91,8 +103,7 @@ func main() {
 		}
 	}
 
-	switch args[0] {
-	case "stats":
+	if args[0] == "stats" {
 		st := store.Stats()
 		fmt.Printf("trace        %s (%d sampled files)\n", *traceName, st.Files)
 		fmt.Printf("storage units %d\n", st.Units)
@@ -100,44 +111,75 @@ func main() {
 		fmt.Printf("tree height   %d\n", st.TreeHeight)
 		fmt.Printf("trees         %d\n", st.Trees)
 		fmt.Printf("index bytes   %d total, %d per node\n", st.IndexBytesTotal, st.IndexBytesPerNode)
+		return
+	}
+
+	q, err := parseQueryVerb(args, opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := store.Do(context.Background(), q)
+	if err != nil {
+		fatal(err)
+	}
+	printLocal(q, res)
+}
+
+// queryOptions assembles the shared per-query options from flags.
+func queryOptions(records bool, limit int, mode string) (smartstore.QueryOptions, error) {
+	m, err := smartstore.ParseQueryMode(mode)
+	if err != nil {
+		return smartstore.QueryOptions{}, err
+	}
+	return smartstore.QueryOptions{Mode: m, Limit: limit, IncludeRecords: records}, nil
+}
+
+// parseQueryVerb builds the unified query from a CLI verb.
+func parseQueryVerb(args []string, opts smartstore.QueryOptions) (smartstore.Query, error) {
+	switch args[0] {
 	case "point":
 		if len(args) != 2 {
 			usage()
 		}
-		ids, rep := store.PointQuery(args[1])
-		fmt.Printf("%d match(es) in %.6fs over %d message(s)\n", len(ids), rep.Latency, rep.Messages)
-		for _, id := range ids {
-			fmt.Printf("  id %d\n", id)
-		}
+		return smartstore.NewPointQuery(args[1]).WithOptions(opts), nil
 	case "range":
 		attrs, lo, hi := parseRangeArgs(args[1:])
-		ids, rep := store.RangeQuery(attrs, lo, hi)
-		fmt.Printf("%d match(es) in %.6fs over %d message(s), %d hop(s)\n",
-			len(ids), rep.Latency, rep.Messages, rep.Hops)
+		return smartstore.NewRangeQuery(attrs, lo, hi).WithOptions(opts), nil
 	case "topk":
 		if len(args) < 3 {
 			usage()
 		}
 		k, err := strconv.Atoi(args[1])
 		if err != nil || k < 1 {
-			fatal(fmt.Errorf("invalid k %q", args[1]))
+			return smartstore.Query{}, fmt.Errorf("invalid k %q", args[1])
 		}
 		attrs, point := parsePointArgs(args[2:])
-		ids, rep := store.TopKQuery(attrs, point, k)
-		fmt.Printf("top-%d in %.6fs over %d message(s), %d hop(s)\n", k, rep.Latency, rep.Messages, rep.Hops)
-		for _, id := range ids {
-			fmt.Printf("  id %d\n", id)
+		return smartstore.NewTopKQuery(attrs, point, k).WithOptions(opts), nil
+	}
+	usage()
+	return smartstore.Query{}, nil
+}
+
+func printLocal(q smartstore.Query, res smartstore.Result) {
+	fmt.Printf("%s: %d match(es) in %.6fs over %d message(s), %d hop(s)%s\n",
+		q.Kind, len(res.IDs), res.Report.Latency, res.Report.Messages, res.Report.Hops,
+		truncatedTag(res.Truncated))
+	if len(res.Records) > 0 {
+		for _, f := range res.Records {
+			fmt.Printf("  id %-10d %s\n", f.ID, f.Path)
 		}
-	default:
-		usage()
+		return
+	}
+	for _, id := range res.IDs {
+		fmt.Printf("  id %d\n", id)
 	}
 }
 
-// runRemote executes one verb against a smartstored daemon.
-func runRemote(addr string, args []string) {
+// runRemote executes one verb against a smartstored daemon through the
+// unified /v1/query endpoint.
+func runRemote(addr string, args []string, opts smartstore.QueryOptions) {
 	cl := client.New(addr)
-	switch args[0] {
-	case "stats":
+	if args[0] == "stats" {
 		st, err := cl.Stats()
 		if err != nil {
 			fatal(err)
@@ -154,55 +196,44 @@ func runRemote(addr string, args []string) {
 			st.Server.Requests, st.Server.Rejected,
 			st.Server.Cache.Entries, st.Server.Cache.MaxEntries,
 			st.Server.Cache.Hits, st.Server.Cache.Misses)
-	case "point":
-		if len(args) != 2 {
-			usage()
+		return
+	}
+	q, err := parseQueryVerb(args, opts)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := cl.Query(context.Background(), q)
+	if err != nil {
+		fatal(err)
+	}
+	printRemote(resp)
+}
+
+func printRemote(resp *server.QueryResponse) {
+	fmt.Printf("%s: %d match(es) in %.6fs over %d message(s), %d hop(s)%s%s\n",
+		resp.Kind, resp.Count, resp.Report.LatencySec, resp.Report.Messages, resp.Report.Hops,
+		truncatedTag(resp.Truncated), cachedTag(resp.Cached))
+	if len(resp.Records) > 0 {
+		for _, rec := range resp.Records {
+			fmt.Printf("  id %-10d %s\n", rec.ID, rec.Path)
 		}
-		resp, err := cl.Point(args[1])
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%d match(es) in %.6fs over %d message(s)%s\n",
-			resp.Count, resp.Report.LatencySec, resp.Report.Messages, cachedTag(resp.Cached))
-		for _, id := range resp.IDs {
-			fmt.Printf("  id %d\n", id)
-		}
-	case "range":
-		attrs, lo, hi := parseRangeArgs(args[1:])
-		resp, err := cl.Range(attrs, lo, hi)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%d match(es) in %.6fs over %d message(s), %d hop(s)%s\n",
-			resp.Count, resp.Report.LatencySec, resp.Report.Messages, resp.Report.Hops,
-			cachedTag(resp.Cached))
-	case "topk":
-		if len(args) < 3 {
-			usage()
-		}
-		k, err := strconv.Atoi(args[1])
-		if err != nil || k < 1 {
-			fatal(fmt.Errorf("invalid k %q", args[1]))
-		}
-		attrs, point := parsePointArgs(args[2:])
-		resp, err := cl.TopK(attrs, point, k)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("top-%d in %.6fs over %d message(s), %d hop(s)%s\n",
-			k, resp.Report.LatencySec, resp.Report.Messages, resp.Report.Hops,
-			cachedTag(resp.Cached))
-		for _, id := range resp.IDs {
-			fmt.Printf("  id %d\n", id)
-		}
-	default:
-		usage()
+		return
+	}
+	for _, id := range resp.IDs {
+		fmt.Printf("  id %d\n", id)
 	}
 }
 
 func cachedTag(cached bool) string {
 	if cached {
 		return " [cached]"
+	}
+	return ""
+}
+
+func truncatedTag(truncated bool) string {
+	if truncated {
+		return " [truncated]"
 	}
 	return ""
 }
@@ -271,6 +302,11 @@ func usage() {
   smartctl [flags] point <path>
   smartctl [flags] range attr=lo:hi [attr=lo:hi ...]
   smartctl [flags] topk <k> attr=value [attr=value ...]
+
+query option flags (local and -remote):
+  -records      inline full file records in the answer
+  -limit N      truncate the answer to N ids
+  -mode M       per-query path override: offline or online
 
 attributes: size ctime mtime atime read_bytes write_bytes access_freq
 `)

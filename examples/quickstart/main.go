@@ -1,9 +1,12 @@
 // Quickstart: build a SmartStore over a synthesized MSN workload and run
 // each of the three query interfaces — point, range and top-k (paper
-// §1.2) — printing results and per-query cost accounting.
+// §1.2) — through the unified Store.Do API, printing results and
+// per-query cost accounting. Per-query options show record projection
+// (full metadata inline, no follow-up lookups) and answer limiting.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Synthesize a 10k-file sample of the MSN production-server trace.
 	set, err := smartstore.GenerateTrace("MSN", 10000, 42)
 	if err != nil {
@@ -30,27 +35,47 @@ func main() {
 		st.Files, st.Units, st.IndexUnits, st.TreeHeight)
 
 	// Point query (§3.3.3): exact filename lookup through the Bloom-
-	// filter hierarchy.
+	// filter hierarchy, with the full record projected into the answer.
 	target := set.Files[1234]
-	ids, rep := store.PointQuery(target.Path)
-	fmt.Printf("point  %q\n  → %d match(es), %.4fs, %d messages\n\n",
-		target.Path, len(ids), rep.Latency, rep.Messages)
+	res, err := store.Do(ctx, smartstore.NewPointQuery(target.Path).
+		WithOptions(smartstore.QueryOptions{IncludeRecords: true}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point  %q\n  → %d match(es), %.4fs, %d messages\n",
+		target.Path, len(res.IDs), res.Report.Latency, res.Report.Messages)
+	for _, f := range res.Records {
+		fmt.Printf("  record: id %d size %.0f mtime %.0f\n",
+			f.ID, f.Attrs[smartstore.AttrSize], f.Attrs[smartstore.AttrMTime])
+	}
+	fmt.Println()
 
 	// Range query (§3.3.1): the paper's example — files revised within a
 	// time window with bounded read/write volumes. Bounds are derived
-	// from the workload so the window is populated.
+	// from the workload so the window is populated; Limit caps the
+	// answer and reports the truncation.
 	mlo, mhi := set.Norm.Bounds(smartstore.AttrMTime)
 	rlo, rhi := set.Norm.Bounds(smartstore.AttrReadBytes)
 	attrs := []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes}
 	lo := []float64{mlo + (mhi-mlo)*0.4, rlo}
 	hi := []float64{mlo + (mhi-mlo)*0.6, rlo + (rhi-rlo)*0.1}
-	ids, rep = store.RangeQuery(attrs, lo, hi)
-	fmt.Printf("range  mtime∈[%.0f,%.0f] read∈[%.0f,%.0f]\n  → %d match(es), %.4fs, %d messages, %d hop(s)\n\n",
-		lo[0], hi[0], lo[1], hi[1], len(ids), rep.Latency, rep.Messages, rep.Hops)
+	res, err = store.Do(ctx, smartstore.NewRangeQuery(attrs, lo, hi).
+		WithOptions(smartstore.QueryOptions{Limit: 25}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range  mtime∈[%.0f,%.0f] read∈[%.0f,%.0f]\n  → %d match(es) (truncated=%v), %.4fs, %d messages, %d hop(s)\n\n",
+		lo[0], hi[0], lo[1], hi[1], len(res.IDs), res.Truncated,
+		res.Report.Latency, res.Report.Messages, res.Report.Hops)
 
-	// Top-k query (§3.3.2): "show 10 files closest to this description".
+	// Top-k query (§3.3.2): "show 10 files closest to this description",
+	// forced onto the on-line multicast path for this one query.
 	point := []float64{target.Attrs[smartstore.AttrMTime], target.Attrs[smartstore.AttrReadBytes]}
-	ids, rep = store.TopKQuery(attrs, point, 10)
-	fmt.Printf("top-10 around (mtime=%.0f, read=%.0f)\n  → %v\n  %.4fs, %d messages, %d hop(s)\n",
-		point[0], point[1], ids, rep.Latency, rep.Messages, rep.Hops)
+	res, err = store.Do(ctx, smartstore.NewTopKQuery(attrs, point, 10).
+		WithOptions(smartstore.QueryOptions{Mode: smartstore.ModeOnline}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-10 around (mtime=%.0f, read=%.0f), on-line path\n  → %v\n  %.4fs, %d messages, %d hop(s)\n",
+		point[0], point[1], res.IDs, res.Report.Latency, res.Report.Messages, res.Report.Hops)
 }

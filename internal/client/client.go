@@ -1,14 +1,17 @@
 // Package client is the typed Go client of the smartstored HTTP/JSON
 // metadata service. It speaks the wire format of internal/server and
-// mirrors the root library API: callers pass smartstore.Attr subsets
-// and raw attribute values and get back ids plus the virtual-time
-// report, with the extra Cached bit the serving layer adds.
+// mirrors the root library API: Query and QueryBatch take
+// smartstore.Query values — kind, dimensions, per-query options — and
+// round-trip them through the unified POST /v1/query endpoint, with
+// context cancellation aborting the HTTP exchange. The legacy Point,
+// Range and TopK helpers remain as thin wrappers over Query.
 //
 // A Client is safe for concurrent use by multiple goroutines.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -48,11 +51,21 @@ func New(addr string) *Client {
 
 // post round-trips one JSON request; out may be nil.
 func (c *Client) post(path string, in, out any) error {
+	return c.postCtx(context.Background(), path, in, out)
+}
+
+// postCtx round-trips one JSON request under ctx; out may be nil.
+func (c *Client) postCtx(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
@@ -86,34 +99,56 @@ func (c *Client) finish(path string, resp *http.Response, out any) error {
 	return nil
 }
 
-// Point looks up file metadata by exact pathname.
-func (c *Client) Point(path string) (*server.QueryResponse, error) {
+// Query executes one composable query through the unified POST
+// /v1/query endpoint. Per-query options (mode override, limit, record
+// projection) travel with the query; cancelling ctx aborts the
+// round trip.
+func (c *Client) Query(ctx context.Context, q smartstore.Query) (*server.QueryResponse, error) {
 	var out server.QueryResponse
-	if err := c.post("/v1/query/point", server.PointRequest{Path: path}, &out); err != nil {
+	req := server.QueryRequest{WireQuery: server.QueryToWire(q)}
+	if err := c.postCtx(ctx, "/v1/query", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// QueryBatch executes several queries in one request; the server runs
+// them concurrently under a single admission ticket and answers in
+// request order. Per-query failures after admission surface in the
+// matching result's Error field.
+func (c *Client) QueryBatch(ctx context.Context, qs []smartstore.Query) (*server.BatchQueryResponse, error) {
+	// An empty batch needs no round trip — and would misencode as a
+	// malformed single query (the queries field is omitempty).
+	if len(qs) == 0 {
+		return &server.BatchQueryResponse{}, nil
+	}
+	wqs := make([]server.WireQuery, len(qs))
+	for i, q := range qs {
+		wqs[i] = server.QueryToWire(q)
+	}
+	var out server.BatchQueryResponse
+	if err := c.postCtx(ctx, "/v1/query", server.QueryRequest{Queries: wqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Point looks up file metadata by exact pathname. It is a wrapper over
+// Query.
+func (c *Client) Point(path string) (*server.QueryResponse, error) {
+	return c.Query(context.Background(), smartstore.NewPointQuery(path))
 }
 
 // Range finds all files whose attrs[i] lies within [lo[i], hi[i]], in
-// raw attribute units.
+// raw attribute units. It is a wrapper over Query.
 func (c *Client) Range(attrs []smartstore.Attr, lo, hi []float64) (*server.QueryResponse, error) {
-	var out server.QueryResponse
-	req := server.RangeRequest{Attrs: server.AttrNames(attrs), Lo: lo, Hi: hi}
-	if err := c.post("/v1/query/range", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Query(context.Background(), smartstore.NewRangeQuery(attrs, lo, hi))
 }
 
-// TopK finds the k files whose attributes are closest to point.
+// TopK finds the k files whose attributes are closest to point. It is a
+// wrapper over Query.
 func (c *Client) TopK(attrs []smartstore.Attr, point []float64, k int) (*server.QueryResponse, error) {
-	var out server.QueryResponse
-	req := server.TopKRequest{Attrs: server.AttrNames(attrs), Point: point, K: k}
-	if err := c.post("/v1/query/topk", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Query(context.Background(), smartstore.NewTopKQuery(attrs, point, k))
 }
 
 // Insert inserts a batch of files in one request. Files with a zero ID

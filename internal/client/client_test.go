@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -148,6 +149,67 @@ func TestClientCachedBit(t *testing.T) {
 	}
 	if first.Cached || !second.Cached {
 		t.Fatalf("cached bits: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+}
+
+func TestClientUnifiedQueryAndBatch(t *testing.T) {
+	cl, store, set := newServedStore(t)
+	ctx := context.Background()
+	attrs := []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes}
+	anchor := set.Files[42]
+
+	// One query with options: records travel inline, the limit is
+	// honoured and reported.
+	resp, err := cl.Query(ctx, smartstore.NewRangeQuery(attrs,
+		[]float64{0, 0}, []float64{1e9, 1e12}).
+		WithOptions(smartstore.QueryOptions{Limit: 3, IncludeRecords: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IDs) != 3 || !resp.Truncated {
+		t.Fatalf("limited query: %d ids truncated=%v", len(resp.IDs), resp.Truncated)
+	}
+	if len(resp.Records) != 3 {
+		t.Fatalf("records not inlined: %d", len(resp.Records))
+	}
+	for i, rec := range resp.Records {
+		if rec.ID != resp.IDs[i] {
+			t.Fatalf("record[%d] id %d != ids[%d] %d", i, rec.ID, i, resp.IDs[i])
+		}
+		if _, ok := store.FileByID(rec.ID); !ok {
+			t.Fatalf("record id %d unknown to the store", rec.ID)
+		}
+	}
+
+	// A mixed batch answers in order.
+	batch, err := cl.QueryBatch(ctx, []smartstore.Query{
+		smartstore.NewPointQuery(anchor.Path),
+		smartstore.NewTopKQuery(attrs, []float64{
+			anchor.Attrs[smartstore.AttrMTime],
+			anchor.Attrs[smartstore.AttrReadBytes]}, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("%d results for 2 queries", len(batch.Results))
+	}
+	if batch.Results[0].Kind != "point" || batch.Results[1].Kind != "topk" {
+		t.Fatalf("batch order not preserved: %q, %q",
+			batch.Results[0].Kind, batch.Results[1].Kind)
+	}
+	if batch.Results[0].Error != "" || batch.Results[1].Error != "" {
+		t.Fatalf("batch member failed: %+v", batch.Results)
+	}
+	if batch.Results[1].Count != 5 {
+		t.Fatalf("batch topk answered %d ids", batch.Results[1].Count)
+	}
+
+	// A cancelled context aborts the round trip client-side.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := cl.Query(cancelled, smartstore.NewPointQuery(anchor.Path)); err == nil {
+		t.Fatal("cancelled-context query did not error")
 	}
 }
 

@@ -25,11 +25,12 @@ type Range struct {
 	Lo, Hi []float64
 }
 
-// NewRange builds a validated range query. It panics when the slices'
-// lengths disagree, and normalizes each dimension so Lo ≤ Hi.
-func NewRange(attrs []metadata.Attr, lo, hi []float64) Range {
+// MakeRange builds a validated range query, normalizing each dimension
+// so Lo ≤ Hi. It returns an error when the slices' lengths disagree or
+// no dimension is given.
+func MakeRange(attrs []metadata.Attr, lo, hi []float64) (Range, error) {
 	if len(attrs) != len(lo) || len(lo) != len(hi) || len(attrs) == 0 {
-		panic(fmt.Sprintf("query: invalid range dims %d/%d/%d", len(attrs), len(lo), len(hi)))
+		return Range{}, fmt.Errorf("query: invalid range dims %d/%d/%d", len(attrs), len(lo), len(hi))
 	}
 	l := append([]float64(nil), lo...)
 	h := append([]float64(nil), hi...)
@@ -38,7 +39,17 @@ func NewRange(attrs []metadata.Attr, lo, hi []float64) Range {
 			l[i], h[i] = h[i], l[i]
 		}
 	}
-	return Range{Attrs: attrs, Lo: l, Hi: h}
+	return Range{Attrs: attrs, Lo: l, Hi: h}, nil
+}
+
+// NewRange is MakeRange for callers that have already validated their
+// dimensions; it panics on invalid input.
+func NewRange(attrs []metadata.Attr, lo, hi []float64) Range {
+	r, err := MakeRange(attrs, lo, hi)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
 }
 
 // Matches reports whether file f satisfies every dimension of r.
@@ -62,15 +73,26 @@ type TopK struct {
 	K     int
 }
 
-// NewTopK builds a validated top-k query.
-func NewTopK(attrs []metadata.Attr, point []float64, k int) TopK {
+// MakeTopK builds a validated top-k query, returning an error when the
+// dimensions disagree or k < 1.
+func MakeTopK(attrs []metadata.Attr, point []float64, k int) (TopK, error) {
 	if len(attrs) != len(point) || len(attrs) == 0 {
-		panic(fmt.Sprintf("query: invalid topk dims %d/%d", len(attrs), len(point)))
+		return TopK{}, fmt.Errorf("query: invalid topk dims %d/%d", len(attrs), len(point))
 	}
 	if k < 1 {
-		panic(fmt.Sprintf("query: invalid k %d", k))
+		return TopK{}, fmt.Errorf("query: invalid k %d", k)
 	}
-	return TopK{Attrs: attrs, Point: append([]float64(nil), point...), K: k}
+	return TopK{Attrs: attrs, Point: append([]float64(nil), point...), K: k}, nil
+}
+
+// NewTopK is MakeTopK for callers that have already validated their
+// dimensions; it panics on invalid input.
+func NewTopK(attrs []metadata.Attr, point []float64, k int) TopK {
+	q, err := MakeTopK(attrs, point, k)
+	if err != nil {
+		panic(err.Error())
+	}
+	return q
 }
 
 // Dist returns the normalized Euclidean distance from file f to the

@@ -12,13 +12,17 @@ import (
 )
 
 // queryCache is an LRU over query results, keyed by the normalized
-// query text. Each entry carries the store's mutation epoch observed
-// *before* the result was computed; a lookup whose epoch differs drops
-// the entry, so one mutation invalidates the whole cache at the cost of
-// a counter compare per hit — no tracking of which groups a write
-// touched. Tagging with the pre-query epoch keeps the race with a
-// concurrent writer safe: a result computed while a mutation lands is
-// at worst invalidated one lookup early, never served stale.
+// unified query text (kind, resolved execution mode, limit, projection
+// flag, and dimensions sorted by attribute id) so two queries that can
+// answer differently — a different mode, limit, or record projection —
+// never collide on one entry. Each entry carries the store's mutation
+// epoch observed *before* the result was computed; a lookup whose epoch
+// differs drops the entry, so one mutation invalidates the whole cache
+// at the cost of a counter compare per hit — no tracking of which
+// groups a write touched. Tagging with the pre-query epoch keeps the
+// race with a concurrent writer safe: a result computed while a
+// mutation lands is at worst invalidated one lookup early, never served
+// stale.
 type queryCache struct {
 	mu      sync.Mutex
 	max     int
@@ -28,29 +32,30 @@ type queryCache struct {
 	hits, misses, evictions, invalidations uint64
 }
 
+// cacheEntry stores the full wire response (ids, records, truncation,
+// report) with the Cached bit cleared; get stamps it on hits.
 type cacheEntry struct {
 	key   string
 	epoch uint64
-	ids   []uint64
-	rep   smartstore.QueryReport
+	resp  QueryResponse
 }
 
 func newQueryCache(max int) *queryCache {
 	return &queryCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached result for key if present and computed at the
-// given epoch.
-func (c *queryCache) get(key string, epoch uint64) ([]uint64, smartstore.QueryReport, bool) {
+// get returns the cached response for key if present and computed at
+// the given epoch.
+func (c *queryCache) get(key string, epoch uint64) (QueryResponse, bool) {
 	if c == nil {
-		return nil, smartstore.QueryReport{}, false
+		return QueryResponse{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, smartstore.QueryReport{}, false
+		return QueryResponse{}, false
 	}
 	ent := el.Value.(*cacheEntry)
 	if ent.epoch != epoch {
@@ -58,27 +63,30 @@ func (c *queryCache) get(key string, epoch uint64) ([]uint64, smartstore.QueryRe
 		delete(c.entries, key)
 		c.invalidations++
 		c.misses++
-		return nil, smartstore.QueryReport{}, false
+		return QueryResponse{}, false
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	return ent.ids, ent.rep, true
+	resp := ent.resp
+	resp.Cached = true
+	return resp, true
 }
 
-// put stores a result computed at the given epoch, evicting the least
+// put stores a response computed at the given epoch, evicting the least
 // recently used entry when full.
-func (c *queryCache) put(key string, epoch uint64, ids []uint64, rep smartstore.QueryReport) {
+func (c *queryCache) put(key string, epoch uint64, resp QueryResponse) {
 	if c == nil || c.max <= 0 {
 		return
 	}
+	resp.Cached = false
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value = &cacheEntry{key: key, epoch: epoch, ids: ids, rep: rep}
+		el.Value = &cacheEntry{key: key, epoch: epoch, resp: resp}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, ids: ids, rep: rep})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, resp: resp})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
@@ -104,9 +112,11 @@ func (c *queryCache) stats() CacheStats {
 	}
 }
 
-// Cache keys normalize the query so semantically identical requests
-// collide: dimensions are sorted by attribute id and values printed in
-// full precision.
+// Cache keys normalize the unified query so semantically identical
+// requests collide: dimensions are sorted by attribute id and values
+// printed in full precision, and the execution mode (resolved against
+// the store default), limit and record-projection flag are part of the
+// key because each changes the answer's content.
 
 type dim struct {
 	attr   metadata.Attr
@@ -126,31 +136,48 @@ func sortDims(attrs []metadata.Attr, v1, v2 []float64) []dim {
 	return dims
 }
 
-func pointKey(path string) string { return "p|" + path }
-
-func rangeKey(attrs []metadata.Attr, lo, hi []float64) string {
+// queryKey builds the normalized cache key for q. mode is the resolved
+// execution mode (ModeDefault already replaced by the store's default),
+// so an explicit option equal to the default hits the same entry.
+func queryKey(q smartstore.Query, mode smartstore.QueryMode) string {
 	var b strings.Builder
-	b.WriteString("r")
-	for _, d := range sortDims(attrs, lo, hi) {
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(int(d.attr)))
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatFloat(d.v2, 'g', -1, 64))
+	switch q.Kind {
+	case smartstore.KindPoint:
+		b.WriteByte('p')
+	case smartstore.KindRange:
+		b.WriteByte('r')
+	case smartstore.KindTopK:
+		b.WriteByte('k')
 	}
-	return b.String()
-}
-
-func topKKey(attrs []metadata.Attr, point []float64, k int) string {
-	var b strings.Builder
-	b.WriteString("k|")
-	b.WriteString(strconv.Itoa(k))
-	for _, d := range sortDims(attrs, point, nil) {
+	b.WriteString("|m")
+	b.WriteString(strconv.Itoa(int(mode)))
+	b.WriteString("|l")
+	b.WriteString(strconv.Itoa(q.Options.Limit))
+	if q.Options.IncludeRecords {
+		b.WriteString("|rec")
+	}
+	switch q.Kind {
+	case smartstore.KindPoint:
 		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(int(d.attr)))
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
+		b.WriteString(q.Path)
+	case smartstore.KindRange:
+		for _, d := range sortDims(q.Attrs, q.Lo, q.Hi) {
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(int(d.attr)))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatFloat(d.v2, 'g', -1, 64))
+		}
+	case smartstore.KindTopK:
+		b.WriteString("|k")
+		b.WriteString(strconv.Itoa(q.K))
+		for _, d := range sortDims(q.Attrs, q.Point, nil) {
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(int(d.attr)))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatFloat(d.v1, 'g', -1, 64))
+		}
 	}
 	return b.String()
 }

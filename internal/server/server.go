@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -98,6 +99,7 @@ func New(store *smartstore.Store, opts Options) *Server {
 	}
 	s.nextID = store.MaxFileID()
 
+	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery))
 	s.mux.HandleFunc("POST /v1/query/point", s.admitted(s.handlePoint))
 	s.mux.HandleFunc("POST /v1/query/range", s.admitted(s.handleRange))
 	s.mux.HandleFunc("POST /v1/query/topk", s.admitted(s.handleTopK))
@@ -153,9 +155,13 @@ func (s *Server) admitted(h func(w http.ResponseWriter, r *http.Request) error) 
 		defer release()
 		if err := h(w, r); err != nil {
 			var bad badRequestError
-			if errors.As(err, &bad) {
+			switch {
+			case errors.As(err, &bad):
 				writeError(w, http.StatusBadRequest, err)
-			} else {
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				// Client went away mid-query.
+				writeError(w, 499, err)
+			default:
 				writeError(w, http.StatusInternalServerError, err)
 			}
 		}
@@ -193,38 +199,140 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// cachedQuery serves a query through the epoch-keyed cache: the epoch
-// is observed before executing so a mutation landing mid-query can only
-// invalidate early, never leave a stale entry behind. key is a thunk so
-// the disabled-cache hot path skips key construction entirely.
-func (s *Server) cachedQuery(key func() string, run func() ([]uint64, smartstore.QueryReport)) QueryResponse {
-	if s.cache == nil {
-		ids, rep := run()
-		return QueryResponse{IDs: ids, Count: len(ids), Report: wireReport(rep)}
+// resolveMode replaces ModeDefault with the store's configured path so
+// cache keys treat "default" and an explicit option equal to it as the
+// same query.
+func (s *Server) resolveMode(m smartstore.QueryMode) smartstore.QueryMode {
+	if m != smartstore.ModeDefault {
+		return m
 	}
-	k := key()
-	epoch := s.store.Epoch()
-	if ids, rep, ok := s.cache.get(k, epoch); ok {
-		return QueryResponse{IDs: ids, Count: len(ids), Cached: true, Report: wireReport(rep)}
+	if s.store.Mode() == smartstore.OnLine {
+		return smartstore.ModeOnline
 	}
-	ids, rep := run()
-	s.cache.put(k, epoch, ids, rep)
-	return QueryResponse{IDs: ids, Count: len(ids), Report: wireReport(rep)}
+	return smartstore.ModeOffline
 }
+
+// execQuery runs one validated query through the epoch-keyed cache: the
+// epoch is observed before executing so a mutation landing mid-query
+// can only invalidate early, never leave a stale entry behind.
+func (s *Server) execQuery(ctx context.Context, q smartstore.Query) (QueryResponse, error) {
+	if s.cache == nil {
+		return s.runQuery(ctx, q)
+	}
+	key := queryKey(q, s.resolveMode(q.Options.Mode))
+	epoch := s.store.Epoch()
+	if resp, ok := s.cache.get(key, epoch); ok {
+		return resp, nil
+	}
+	resp, err := s.runQuery(ctx, q)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	// Record-heavy answers are served but not cached: entries hold full
+	// responses while the LRU bounds entry count, not bytes, so broad
+	// projected answers could otherwise pin corpus-sized record arrays
+	// across every cache slot.
+	if len(resp.Records) <= maxCachedRecords {
+		s.cache.put(key, epoch, resp)
+	}
+	return resp, nil
+}
+
+// maxCachedRecords bounds the projected-record payload a single cache
+// entry may hold; larger answers recompute on every request.
+const maxCachedRecords = 1024
+
+// runQuery executes q against the store and shapes the wire response.
+func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryResponse, error) {
+	res, err := s.store.Do(ctx, q)
+	if err != nil {
+		if errors.Is(err, smartstore.ErrInvalidQuery) {
+			return QueryResponse{}, badRequestError{err}
+		}
+		return QueryResponse{}, err
+	}
+	resp := QueryResponse{
+		Kind:      q.Kind.String(),
+		IDs:       res.IDs,
+		Count:     len(res.IDs),
+		Truncated: res.Truncated,
+		Report:    wireReport(res.Report),
+	}
+	if q.Options.IncludeRecords {
+		resp.Records = make([]FileRecord, len(res.Records))
+		for i := range res.Records {
+			resp.Records[i] = RecordFromFile(&res.Records[i])
+		}
+	}
+	return resp, nil
+}
+
+// maxBatchQueries bounds one /v1/query batch; beyond it the request is
+// rejected outright rather than fanned out.
+const maxBatchQueries = 256
+
+// handleQuery serves the unified POST /v1/query endpoint: one query
+// inline, or a batch under "queries". The whole request — batch
+// included — runs under the single admission ticket the admitted
+// wrapper already granted; batch members execute concurrently.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req QueryRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if len(req.Queries) == 0 {
+		q, err := req.WireQuery.Query()
+		if err != nil {
+			return badRequestError{err}
+		}
+		resp, err := s.execQuery(r.Context(), q)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+
+	if len(req.Queries) > maxBatchQueries {
+		return badRequest("batch of %d queries exceeds the %d limit", len(req.Queries), maxBatchQueries)
+	}
+	// Validate every member before running any: a malformed batch is
+	// rejected wholesale, like a malformed single query.
+	queries := make([]smartstore.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.Query()
+		if err != nil {
+			return badRequest("queries[%d]: %v", i, err)
+		}
+		queries[i] = q
+	}
+	results := make([]QueryResponse, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q smartstore.Query) {
+			defer wg.Done()
+			resp, err := s.execQuery(r.Context(), q)
+			if err != nil {
+				resp = QueryResponse{Kind: q.Kind.String(), Error: err.Error()}
+			}
+			results[i] = resp
+		}(i, q)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchQueryResponse{Results: results})
+	return nil
+}
+
+// The legacy one-endpoint-per-kind routes remain as shims over the
+// unified path: same validation, same cache, ids-only responses.
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) error {
 	var req PointRequest
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	if req.Path == "" {
-		return badRequest("point query missing path")
-	}
-	resp := s.cachedQuery(func() string { return pointKey(req.Path) }, func() ([]uint64, smartstore.QueryReport) {
-		return s.store.PointQuery(req.Path)
-	})
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.serveShim(w, r, WireQuery{Kind: "point", Path: req.Path})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
@@ -232,19 +340,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	attrs, err := parseAttrs(req.Attrs)
-	if err != nil {
-		return badRequest("range query: %v", err)
-	}
-	if len(req.Lo) != len(attrs) || len(req.Hi) != len(attrs) {
-		return badRequest("range query: %d attrs but %d lo / %d hi bounds",
-			len(attrs), len(req.Lo), len(req.Hi))
-	}
-	resp := s.cachedQuery(func() string { return rangeKey(attrs, req.Lo, req.Hi) }, func() ([]uint64, smartstore.QueryReport) {
-		return s.store.RangeQuery(attrs, req.Lo, req.Hi)
-	})
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.serveShim(w, r, WireQuery{Kind: "range", Attrs: req.Attrs, Lo: req.Lo, Hi: req.Hi})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
@@ -252,19 +348,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	attrs, err := parseAttrs(req.Attrs)
+	return s.serveShim(w, r, WireQuery{Kind: "topk", Attrs: req.Attrs, Point: req.Point, K: req.K})
+}
+
+// serveShim funnels a legacy request through the unified execution
+// path.
+func (s *Server) serveShim(w http.ResponseWriter, r *http.Request, wq WireQuery) error {
+	q, err := wq.Query()
 	if err != nil {
-		return badRequest("topk query: %v", err)
+		return badRequestError{err}
 	}
-	if len(req.Point) != len(attrs) {
-		return badRequest("topk query: %d attrs but %d point values", len(attrs), len(req.Point))
+	resp, err := s.execQuery(r.Context(), q)
+	if err != nil {
+		return err
 	}
-	if req.K < 1 {
-		return badRequest("topk query: invalid k %d", req.K)
-	}
-	resp := s.cachedQuery(func() string { return topKKey(attrs, req.Point, req.K) }, func() ([]uint64, smartstore.QueryReport) {
-		return s.store.TopKQuery(attrs, req.Point, req.K)
-	})
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

@@ -366,24 +366,28 @@ func TestAdmissionShedsLoadWhenSaturated(t *testing.T) {
 
 func TestQueryCacheLRUAndEpoch(t *testing.T) {
 	c := newQueryCache(2)
-	rep := smartstore.QueryReport{Messages: 3}
-	c.put("a", 1, []uint64{1}, rep)
-	c.put("b", 1, []uint64{2}, rep)
+	resp := QueryResponse{IDs: []uint64{1}, Count: 1, Report: Report{Messages: 3}}
+	c.put("a", 1, resp)
+	c.put("b", 1, resp)
 
-	if _, _, ok := c.get("a", 1); !ok {
+	got, ok := c.get("a", 1)
+	if !ok {
 		t.Fatal("a missing")
 	}
+	if !got.Cached || got.Count != 1 || got.Report.Messages != 3 {
+		t.Fatalf("cached response mangled: %+v", got)
+	}
 	// a is now most recent; inserting c evicts b.
-	c.put("c", 1, []uint64{3}, rep)
-	if _, _, ok := c.get("b", 1); ok {
+	c.put("c", 1, resp)
+	if _, ok := c.get("b", 1); ok {
 		t.Fatal("b not evicted as LRU")
 	}
-	if _, _, ok := c.get("a", 1); !ok {
+	if _, ok := c.get("a", 1); !ok {
 		t.Fatal("a evicted despite being MRU")
 	}
 
 	// Epoch mismatch invalidates.
-	if _, _, ok := c.get("a", 2); ok {
+	if _, ok := c.get("a", 2); ok {
 		t.Fatal("stale-epoch entry served")
 	}
 	st := c.stats()
@@ -393,27 +397,47 @@ func TestQueryCacheLRUAndEpoch(t *testing.T) {
 
 	// A nil cache (caching disabled) is inert.
 	var disabled *queryCache
-	disabled.put("x", 1, nil, rep)
-	if _, _, ok := disabled.get("x", 1); ok {
+	disabled.put("x", 1, resp)
+	if _, ok := disabled.get("x", 1); ok {
 		t.Fatal("nil cache returned a hit")
 	}
 }
 
 func TestCacheKeyNormalization(t *testing.T) {
-	a := rangeKey([]metadata.Attr{metadata.AttrMTime, metadata.AttrSize},
-		[]float64{1, 3}, []float64{2, 4})
-	b := rangeKey([]metadata.Attr{metadata.AttrSize, metadata.AttrMTime},
-		[]float64{3, 1}, []float64{4, 2})
+	rq := func(attrs []smartstore.Attr, lo, hi []float64) smartstore.Query {
+		return smartstore.NewRangeQuery(attrs, lo, hi)
+	}
+	a := queryKey(rq([]smartstore.Attr{metadata.AttrMTime, metadata.AttrSize},
+		[]float64{1, 3}, []float64{2, 4}), smartstore.ModeOffline)
+	b := queryKey(rq([]smartstore.Attr{metadata.AttrSize, metadata.AttrMTime},
+		[]float64{3, 1}, []float64{4, 2}), smartstore.ModeOffline)
 	if a != b {
 		t.Fatalf("permuted range dims key differently:\n%s\n%s", a, b)
 	}
-	k1 := topKKey([]metadata.Attr{metadata.AttrSize, metadata.AttrMTime}, []float64{5, 6}, 3)
-	k2 := topKKey([]metadata.Attr{metadata.AttrMTime, metadata.AttrSize}, []float64{6, 5}, 3)
+	k1 := queryKey(smartstore.NewTopKQuery([]smartstore.Attr{metadata.AttrSize, metadata.AttrMTime}, []float64{5, 6}, 3), smartstore.ModeOffline)
+	k2 := queryKey(smartstore.NewTopKQuery([]smartstore.Attr{metadata.AttrMTime, metadata.AttrSize}, []float64{6, 5}, 3), smartstore.ModeOffline)
 	if k1 != k2 {
 		t.Fatalf("permuted topk dims key differently:\n%s\n%s", k1, k2)
 	}
-	if topKKey([]metadata.Attr{metadata.AttrSize}, []float64{5}, 3) ==
-		topKKey([]metadata.Attr{metadata.AttrSize}, []float64{5}, 4) {
+	if queryKey(smartstore.NewTopKQuery([]smartstore.Attr{metadata.AttrSize}, []float64{5}, 3), smartstore.ModeOffline) ==
+		queryKey(smartstore.NewTopKQuery([]smartstore.Attr{metadata.AttrSize}, []float64{5}, 4), smartstore.ModeOffline) {
 		t.Fatal("k not part of topk key")
+	}
+
+	// Options that change the answer's content must change the key:
+	// execution mode, limit, and record projection each key separately.
+	base := rq([]smartstore.Attr{metadata.AttrMTime}, []float64{0}, []float64{1})
+	offline := queryKey(base, smartstore.ModeOffline)
+	online := queryKey(base, smartstore.ModeOnline)
+	if offline == online {
+		t.Fatal("mode not part of key")
+	}
+	limited := base.WithOptions(smartstore.QueryOptions{Limit: 5})
+	if queryKey(limited, smartstore.ModeOffline) == offline {
+		t.Fatal("limit not part of key")
+	}
+	projected := base.WithOptions(smartstore.QueryOptions{IncludeRecords: true})
+	if queryKey(projected, smartstore.ModeOffline) == offline {
+		t.Fatal("include_records not part of key")
 	}
 }

@@ -93,7 +93,106 @@ func AttrNames(attrs []metadata.Attr) []string {
 	return names
 }
 
+// WireQuery is the unified wire form of one smartstore.Query: a kind
+// ("point", "range", "topk") plus that kind's dimensions plus per-query
+// options. Unused fields are omitted.
+type WireQuery struct {
+	Kind  string    `json:"kind,omitempty"`
+	Path  string    `json:"path,omitempty"`
+	Attrs []string  `json:"attrs,omitempty"`
+	Lo    []float64 `json:"lo,omitempty"`
+	Hi    []float64 `json:"hi,omitempty"`
+	Point []float64 `json:"point,omitempty"`
+	K     int       `json:"k,omitempty"`
+
+	// Mode optionally overrides the store's query path for this query:
+	// "offline" or "online" (empty = store default).
+	Mode string `json:"mode,omitempty"`
+	// Limit truncates the answer to at most Limit ids (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+	// IncludeRecords inlines full file records in the response.
+	IncludeRecords bool `json:"include_records,omitempty"`
+}
+
+// Query resolves the wire form to a validated smartstore.Query. Every
+// failure wraps smartstore.ErrInvalidQuery.
+func (wq WireQuery) Query() (smartstore.Query, error) {
+	kind, err := smartstore.ParseQueryKind(wq.Kind)
+	if err != nil {
+		return smartstore.Query{}, err
+	}
+	mode, err := smartstore.ParseQueryMode(wq.Mode)
+	if err != nil {
+		return smartstore.Query{}, err
+	}
+	q := smartstore.Query{
+		Kind:  kind,
+		Path:  wq.Path,
+		Lo:    wq.Lo,
+		Hi:    wq.Hi,
+		Point: wq.Point,
+		K:     wq.K,
+		Options: smartstore.QueryOptions{
+			Mode:           mode,
+			Limit:          wq.Limit,
+			IncludeRecords: wq.IncludeRecords,
+		},
+	}
+	if kind == smartstore.KindPoint {
+		if wq.Path == "" {
+			return smartstore.Query{}, fmt.Errorf("%w: point query missing path", smartstore.ErrInvalidQuery)
+		}
+	} else {
+		attrs, err := parseAttrs(wq.Attrs)
+		if err != nil {
+			return smartstore.Query{}, fmt.Errorf("%w: %v", smartstore.ErrInvalidQuery, err)
+		}
+		q.Attrs = attrs
+	}
+	if err := q.Validate(); err != nil {
+		return smartstore.Query{}, err
+	}
+	return q, nil
+}
+
+// QueryToWire converts a library query to its wire form — the encoding
+// the typed client sends to POST /v1/query.
+func QueryToWire(q smartstore.Query) WireQuery {
+	wq := WireQuery{
+		Kind:           q.Kind.String(),
+		Path:           q.Path,
+		Lo:             q.Lo,
+		Hi:             q.Hi,
+		Point:          q.Point,
+		K:              q.K,
+		Mode:           q.Options.Mode.String(),
+		Limit:          q.Options.Limit,
+		IncludeRecords: q.Options.IncludeRecords,
+	}
+	if len(q.Attrs) > 0 {
+		wq.Attrs = AttrNames(q.Attrs)
+	}
+	return wq
+}
+
+// QueryRequest is the body of POST /v1/query: either one query inline
+// (the embedded WireQuery fields) or a batch via Queries. A non-empty
+// Queries takes precedence; the batch executes concurrently under one
+// admission ticket.
+type QueryRequest struct {
+	WireQuery
+	Queries []WireQuery `json:"queries,omitempty"`
+}
+
+// BatchQueryResponse answers a batch POST /v1/query: one result per
+// query, in request order. A query that failed after admission carries
+// its message in Error with zeroed results.
+type BatchQueryResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
 // PointRequest asks for the files stored under an exact pathname.
+// Legacy form of POST /v1/query/point — new clients use WireQuery.
 type PointRequest struct {
 	Path string `json:"path"`
 }
@@ -112,14 +211,22 @@ type TopKRequest struct {
 	K     int       `json:"k"`
 }
 
-// QueryResponse answers point, range and top-k queries. Cached reports
-// whether the result was served from the query cache (in which case the
-// report replays the accounting of the original execution).
+// QueryResponse answers every query form — unified single, batch item,
+// and the legacy point/range/topk shims. Cached reports whether the
+// result was served from the query cache (in which case the report
+// replays the accounting of the original execution); Records carries
+// inline file records when the query asked for them; Truncated reports
+// that a limit cut the answer; Error is set only on batch items that
+// failed after admission.
 type QueryResponse struct {
-	IDs    []uint64 `json:"ids"`
-	Count  int      `json:"count"`
-	Cached bool     `json:"cached"`
-	Report Report   `json:"report"`
+	Kind      string       `json:"kind,omitempty"`
+	IDs       []uint64     `json:"ids"`
+	Count     int          `json:"count"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Cached    bool         `json:"cached"`
+	Records   []FileRecord `json:"records,omitempty"`
+	Report    Report       `json:"report"`
+	Error     string       `json:"error,omitempty"`
 }
 
 // InsertRequest inserts a batch of files in one admission.

@@ -17,16 +17,22 @@
 //	set := smartstore.GenerateTrace("MSN", 10000, 42)
 //	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 60})
 //	if err != nil { ... }
-//	ids, rep := store.RangeQuery(
+//	res, err := store.Do(ctx, smartstore.NewRangeQuery(
 //	    []smartstore.Attr{smartstore.AttrMTime, smartstore.AttrReadBytes},
-//	    []float64{36000, 30e6}, []float64{59000, 50e6})
-//	fmt.Println(len(ids), rep.Latency)
+//	    []float64{36000, 30e6}, []float64{59000, 50e6}).
+//	    WithOptions(smartstore.QueryOptions{IncludeRecords: true}))
+//	if err != nil { ... }
+//	fmt.Println(len(res.Records), res.Report.Latency)
+//
+// PointQuery, RangeQuery and TopKQuery remain as thin compatibility
+// wrappers over Do.
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory and experiment index.
 package smartstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -128,30 +134,49 @@ type Store struct {
 	clusters map[*semtree.Tree]*cluster.Cluster
 
 	// mu keeps tree structure stable: readers share it, mutators hold
-	// it exclusively. qmu serializes each deployment's simulation
+	// it exclusively. qslot serializes each deployment's simulation
 	// machinery, which every query mutates (sim counters, home-unit
-	// RNG, lazy id cache). epoch counts committed mutations so result
+	// RNG, lazy id cache); it is a capacity-1 channel semaphore rather
+	// than a mutex so waiters can abandon the wait on context
+	// cancellation (see Do). epoch counts committed mutations so result
 	// caches can invalidate on change (see Epoch).
 	mu    sync.RWMutex
-	qmu   map[*cluster.Cluster]*sync.Mutex
+	qslot map[*cluster.Cluster]chan struct{}
 	epoch atomic.Uint64
 }
 
-// initLocks builds the per-deployment query mutexes; callers own s.
+// initLocks builds the per-deployment query slots; callers own s.
 func (s *Store) initLocks() {
-	s.qmu = make(map[*cluster.Cluster]*sync.Mutex, len(s.clusters))
+	s.qslot = make(map[*cluster.Cluster]chan struct{}, len(s.clusters))
 	for _, c := range s.clusters {
-		s.qmu[c] = &sync.Mutex{}
+		s.qslot[c] = make(chan struct{}, 1)
 	}
 }
 
 // runQuery serializes one deployment's virtual-time machinery around f.
 // The store-level read lock must already be held.
 func (s *Store) runQuery(c *cluster.Cluster, f func()) {
-	m := s.qmu[c]
-	m.Lock()
-	defer m.Unlock()
+	slot := s.qslot[c]
+	slot <- struct{}{}
+	defer func() { <-slot }()
 	f()
+}
+
+// runQueryCtx is runQuery with a cancellable wait: a context cancelled
+// while queued for the deployment slot — or observed cancelled once it
+// is acquired — returns ctx.Err() without running f.
+func (s *Store) runQueryCtx(ctx context.Context, c *cluster.Cluster, f func() error) error {
+	slot := s.qslot[c]
+	select {
+	case slot <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-slot }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return f()
 }
 
 // Epoch returns the store's mutation epoch. It increments on every
@@ -265,13 +290,6 @@ func sameAttrs(a, b []Attr) bool {
 	return true
 }
 
-// PointQuery looks up file metadata by exact pathname (§3.3.3).
-func (s *Store) PointQuery(filename string) ([]uint64, QueryReport) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pointQuery(filename)
-}
-
 // pointQuery runs a point query with the read lock already held.
 func (s *Store) pointQuery(filename string) ([]uint64, QueryReport) {
 	var ids []uint64
@@ -280,33 +298,6 @@ func (s *Store) pointQuery(filename string) ([]uint64, QueryReport) {
 		ids, res = s.primary.Point(query.Point{Filename: filename})
 	})
 	return ids, fromResult(res)
-}
-
-// RangeQuery finds all files whose attrs[i] lies within [lo[i], hi[i]]
-// (§3.3.1). Values are in raw attribute units.
-func (s *Store) RangeQuery(attrs []Attr, lo, hi []float64) ([]uint64, QueryReport) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	q := query.NewRange(attrs, lo, hi)
-	c := s.clusterFor(attrs)
-	var ids []uint64
-	var res cluster.Result
-	s.runQuery(c, func() {
-		if s.cfg.Mode == OnLine {
-			ids, res = c.RangeOnline(q)
-		} else {
-			ids, res = c.RangeOffline(q)
-		}
-	})
-	return ids, fromResult(res)
-}
-
-// TopKQuery finds the k files whose attributes are closest to the given
-// point (§3.3.2).
-func (s *Store) TopKQuery(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.topKQuery(attrs, point, k)
 }
 
 // topKQuery runs a top-k query with the read lock already held.
@@ -505,17 +496,23 @@ func (s *Store) FileByID(id uint64) (File, bool) {
 
 // MaxFileID returns the largest file id currently stored, or 0 for an
 // empty deployment — the base a serving layer allocates fresh ids from.
+// The maximum is maintained incrementally in the cluster's id index, so
+// repeated calls are O(1) rather than a full-corpus scan.
 func (s *Store) MaxFileID() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var max uint64
-	for _, f := range s.primary.Tree.AllFiles() {
-		if f.ID > max {
-			max = f.ID
-		}
-	}
+	s.runQuery(s.primary, func() {
+		// The id index may be lazily built here — cluster-state
+		// mutation needing the same serialization as queries.
+		max = s.primary.MaxFileID()
+	})
 	return max
 }
+
+// Mode returns the store's configured default query execution path; a
+// Query whose Options.Mode is ModeDefault runs on it.
+func (s *Store) Mode() Mode { return s.cfg.Mode }
 
 // ParseAttr resolves an attribute's short name ("size", "ctime",
 // "mtime", "atime", "read_bytes", "write_bytes", "access_freq") to its
