@@ -11,6 +11,7 @@
 package smartstore_test
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -243,12 +244,18 @@ func BenchmarkAblation_ReplicaDepth(b *testing.B) {
 // newServedBench stands up an in-process daemon over the bench-scale
 // store.
 func newServedBench(b *testing.B, cacheEntries int) *client.Client {
+	return newShardedServedBench(b, cacheEntries, 1)
+}
+
+// newShardedServedBench stands up an in-process daemon over a store
+// partitioned across the given engine shard count.
+func newShardedServedBench(b *testing.B, cacheEntries, shards int) *client.Client {
 	b.Helper()
 	set, err := smartstore.GenerateTrace("MSN", 3000, 2009)
 	if err != nil {
 		b.Fatal(err)
 	}
-	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 60, Seed: 2009})
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 60, Shards: shards, Seed: 2009})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -303,4 +310,37 @@ func BenchmarkServedTopK_Concurrent(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServedSharded_Concurrent measures concurrent mixed query
+// throughput against 1 / 2 / 4 engine shards. On ≥2 cores the sharded
+// engine's per-shard locking and parallel fan-out raise throughput with
+// the shard count (per-shard slot hold times shrink with the shard's
+// population); on a single core the fan-out is pure overhead and the
+// sub-benchmarks document that floor instead.
+func BenchmarkServedSharded_Concurrent(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl := newShardedServedBench(b, -1, shards) // cache disabled: every request executes
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					if n%2 == 0 {
+						p := []float64{40000 + float64(n), 3e7, 6e7}
+						if _, err := cl.TopK(servedAttrs, p, 8); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						hi := 40000 + float64(n%512)
+						if _, err := cl.Range(servedAttrs,
+							[]float64{0, 0, 0}, []float64{hi, 4e7, 8e7}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
 }

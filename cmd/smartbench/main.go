@@ -45,19 +45,28 @@ func main() {
 	mutate := flag.Float64("mutate", 0, "service bench: fraction of ops that are inserts")
 	benchTrace := flag.String("trace", "MSN", "service bench: trace to draw queries from")
 	cacheEntries := flag.Int("cache", 4096, "service bench: in-process server cache entries")
+	shardList := flag.String("shards", "1", "service bench: comma-separated shard counts, one pass each (e.g. 1,4)")
+	jsonOut := flag.String("json", "", "service bench: write machine-readable results (throughput, p50/p95/p99) to this file")
 	flag.Parse()
 
 	if *serve || *remote != "" {
+		shards, err := parseShardList(*shardList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			os.Exit(2)
+		}
 		o := serveBenchOpts{
-			remote:  *remote,
-			trace:   *benchTrace,
-			files:   orDefault(*baseFiles, 20000),
-			units:   orDefault(*units, 60),
-			seed:    *seed,
-			clients: *clients,
-			ops:     *ops,
-			mutate:  *mutate,
-			cache:   *cacheEntries,
+			remote:   *remote,
+			trace:    *benchTrace,
+			files:    orDefault(*baseFiles, 20000),
+			units:    orDefault(*units, 60),
+			shards:   shards,
+			seed:     *seed,
+			clients:  *clients,
+			ops:      *ops,
+			mutate:   *mutate,
+			cache:    *cacheEntries,
+			jsonPath: *jsonOut,
 		}
 		if o.seed == 0 {
 			o.seed = 42

@@ -3,16 +3,26 @@
 // a running daemon (-remote addr). Unlike the simnet experiments, which
 // report *virtual* time, this mode measures real wall-clock service
 // throughput and latency (p50/p95/p99) per operation type, so the
-// serving layer — locking, cache, admission — becomes measurable.
+// serving layer — sharded engine, locking, cache, admission — becomes
+// measurable.
+//
+// With -serve, -shards accepts a comma-separated list of shard counts
+// (e.g. "1,4"): one pass runs per count against a freshly built store,
+// and a scaling summary reports throughput per count — the perf
+// trajectory of the sharded engine. -json writes the machine-readable
+// results (throughput, per-op p50/p95/p99) for CI artifacts.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,15 +36,17 @@ import (
 
 // serveBenchOpts collects the load-generator flags.
 type serveBenchOpts struct {
-	remote  string // daemon address; empty = start in-process
-	trace   string
-	files   int
-	units   int
-	seed    uint64
-	clients int
-	ops     int
-	mutate  float64 // fraction of operations that are inserts
-	cache   int
+	remote   string // daemon address; empty = start in-process
+	trace    string
+	files    int
+	units    int
+	shards   []int // in-process shard counts, one bench pass each
+	seed     uint64
+	clients  int
+	ops      int
+	mutate   float64 // fraction of operations that are inserts
+	cache    int
+	jsonPath string // write machine-readable results here ("" = skip)
 }
 
 type opSample struct {
@@ -44,8 +56,57 @@ type opSample struct {
 	cached bool
 }
 
-// runServiceBench drives the closed loop and prints the report. It
-// returns a process exit code.
+// opStats is the machine-readable per-operation summary.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	Cached int     `json:"cached"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// benchResult is one pass's machine-readable outcome.
+type benchResult struct {
+	Shards     int                `json:"shards"`
+	Clients    int                `json:"clients"`
+	Ops        int                `json:"ops"`
+	Mutate     float64            `json:"mutate"`
+	WallSec    float64            `json:"wall_sec"`
+	Throughput float64            `json:"throughput_ops_per_sec"`
+	Errors     int                `json:"errors"`
+	PerOp      map[string]opStats `json:"per_op"`
+}
+
+// benchReport is the -json envelope.
+type benchReport struct {
+	Trace   string        `json:"trace"`
+	Files   int           `json:"files"`
+	Units   int           `json:"units"`
+	Seed    uint64        `json:"seed"`
+	Remote  string        `json:"remote,omitempty"`
+	Results []benchResult `json:"results"`
+}
+
+// parseShardList resolves the -shards flag ("1", "1,4", ...).
+func parseShardList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{1}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runServiceBench drives the closed loop — one pass per shard count —
+// and prints the report. It returns a process exit code.
 func runServiceBench(o serveBenchOpts) int {
 	set, err := smartstore.GenerateTrace(o.trace, o.files, o.seed)
 	if err != nil {
@@ -53,25 +114,61 @@ func runServiceBench(o serveBenchOpts) int {
 		return 1
 	}
 
+	report := benchReport{Trace: o.trace, Files: o.files, Units: o.units, Seed: o.seed, Remote: o.remote}
+	shardCounts := o.shards
+	if o.remote != "" {
+		// A remote daemon's shard count is fixed at its bootstrap; a
+		// single pass drives whatever it runs.
+		shardCounts = []int{0}
+	}
+
+	exit := 0
+	for _, shards := range shardCounts {
+		res, code := runBenchPass(set, o, shards)
+		if code != 0 {
+			exit = code
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	if len(report.Results) > 1 {
+		printScalingSummary(report.Results)
+	}
+	if o.jsonPath != "" {
+		if err := writeJSONReport(o.jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			return 1
+		}
+		fmt.Printf("smartbench: wrote %s\n", o.jsonPath)
+	}
+	return exit
+}
+
+// runBenchPass builds (or dials) one server and drives the closed loop
+// against it. shards > 0 selects the in-process store's shard count;
+// shards == 0 means a remote daemon.
+func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (benchResult, int) {
 	addr := o.remote
 	var shutdown func()
 	if addr == "" {
-		store, err := smartstore.Build(set.Files, smartstore.Config{Units: o.units, Seed: o.seed})
+		store, err := smartstore.Build(set.Files, smartstore.Config{
+			Units: o.units, Shards: shards, Seed: o.seed,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smartbench:", err)
-			return 1
+			return benchResult{Shards: shards}, 1
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smartbench:", err)
-			return 1
+			return benchResult{Shards: shards}, 1
 		}
 		srv := &http.Server{Handler: server.New(store, server.Options{CacheEntries: o.cache})}
 		go srv.Serve(ln)
 		addr = ln.Addr().String()
 		shutdown = func() { srv.Close() }
-		fmt.Printf("smartbench: in-process smartstored on %s (%d files, %d units)\n",
-			addr, len(set.Files), o.units)
+		fmt.Printf("smartbench: in-process smartstored on %s (%d files, %d units, %d shards)\n",
+			addr, len(set.Files), o.units, shards)
 	} else {
 		fmt.Printf("smartbench: driving remote smartstored at %s\n", addr)
 		fmt.Printf("smartbench: drawing queries from trace %s ×%d seed %d — match the daemon's bootstrap\n",
@@ -84,7 +181,7 @@ func runServiceBench(o serveBenchOpts) int {
 	cl := client.New(addr)
 	if !cl.Healthy() {
 		fmt.Fprintf(os.Stderr, "smartbench: no healthy smartstored at %s\n", addr)
-		return 1
+		return benchResult{Shards: shards}, 1
 	}
 
 	// Closed loop: o.clients workers issue operations back-to-back until
@@ -115,14 +212,15 @@ func runServiceBench(o serveBenchOpts) int {
 			}
 		}
 	}
-	printServiceReport(all, wall, o, cl)
+	res := summarize(all, wall, o, shards, errs)
+	printServiceReport(res, all, wall, o, cl)
 	// Failed operations fail the run — CI uses this mode as a smoke
 	// gate on the serving path, so a broken endpoint must not exit 0.
 	if errs > 0 {
 		fmt.Fprintf(os.Stderr, "smartbench: %d/%d operations failed\n", errs, len(all))
-		return 1
+		return res, 1
 	}
-	return 0
+	return res, 0
 }
 
 // benchWorker issues operations until the shared budget drains.
@@ -198,45 +296,91 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func printServiceReport(all []opSample, wall time.Duration, o serveBenchOpts, cl *client.Client) {
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// summarize folds raw samples into the machine-readable pass result.
+func summarize(all []opSample, wall time.Duration, o serveBenchOpts, shards, errs int) benchResult {
+	res := benchResult{
+		Shards:     shards,
+		Clients:    o.clients,
+		Ops:        len(all),
+		Mutate:     o.mutate,
+		WallSec:    wall.Seconds(),
+		Throughput: float64(len(all)) / wall.Seconds(),
+		Errors:     errs,
+		PerOp:      map[string]opStats{},
+	}
 	byOp := map[string][]opSample{}
 	for _, s := range all {
 		byOp[s.op] = append(byOp[s.op], s)
 	}
-	fmt.Printf("\nservice bench: clients=%d ops=%d mutate=%.2f wall=%.2fs throughput=%.0f ops/s\n",
-		o.clients, len(all), o.mutate, wall.Seconds(), float64(len(all))/wall.Seconds())
-	fmt.Printf("%-8s %8s %6s %8s %10s %10s %10s %10s\n",
-		"op", "count", "err", "cached", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
-	for _, op := range []string{"point", "range", "topk", "batch", "insert"} {
-		ss := byOp[op]
-		if len(ss) == 0 {
-			continue
-		}
+	for op, ss := range byOp {
 		durs := make([]time.Duration, 0, len(ss))
 		var sum time.Duration
-		errs, cached := 0, 0
+		st := opStats{Count: len(ss)}
 		for _, s := range ss {
 			durs = append(durs, s.d)
 			sum += s.d
 			if s.err {
-				errs++
+				st.Errors++
 			}
 			if s.cached {
-				cached++
+				st.Cached++
 			}
 		}
 		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		st.MeanMs = ms(sum / time.Duration(len(ss)))
+		st.P50Ms = ms(percentile(durs, 0.50))
+		st.P95Ms = ms(percentile(durs, 0.95))
+		st.P99Ms = ms(percentile(durs, 0.99))
+		res.PerOp[op] = st
+	}
+	return res
+}
+
+func printServiceReport(res benchResult, all []opSample, wall time.Duration, o serveBenchOpts, cl *client.Client) {
+	fmt.Printf("\nservice bench: shards=%d clients=%d ops=%d mutate=%.2f wall=%.2fs throughput=%.0f ops/s\n",
+		res.Shards, o.clients, len(all), o.mutate, wall.Seconds(), res.Throughput)
+	fmt.Printf("%-8s %8s %6s %8s %10s %10s %10s %10s\n",
+		"op", "count", "err", "cached", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+	for _, op := range []string{"point", "range", "topk", "batch", "insert"} {
+		st, ok := res.PerOp[op]
+		if !ok {
+			continue
+		}
 		fmt.Printf("%-8s %8d %6d %8d %10.3f %10.3f %10.3f %10.3f\n",
-			op, len(ss), errs, cached,
-			ms(sum/time.Duration(len(ss))),
-			ms(percentile(durs, 0.50)), ms(percentile(durs, 0.95)), ms(percentile(durs, 0.99)))
+			op, st.Count, st.Errors, st.Cached, st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms)
 	}
 	if st, err := cl.Stats(); err == nil {
 		c := st.Server.Cache
 		fmt.Printf("cache: %d entries, %d hits / %d misses, %d invalidations, %d evictions\n",
 			c.Entries, c.Hits, c.Misses, c.Invalidations, c.Evictions)
-		fmt.Printf("server: %d requests, %d rejected, %d workers, epoch %d\n",
-			st.Server.Requests, st.Server.Rejected, st.Server.Workers, st.Store.Epoch)
+		fmt.Printf("server: %d requests, %d rejected, %d workers, %d shards, epoch %d\n",
+			st.Server.Requests, st.Server.Rejected, st.Server.Workers, st.Store.Shards, st.Store.Epoch)
 	}
+}
+
+// printScalingSummary reports throughput across shard counts — the
+// headline number of the sharded engine.
+func printScalingSummary(results []benchResult) {
+	fmt.Printf("\nshard scaling: %-8s %14s %10s\n", "shards", "ops/s", "speedup")
+	base := results[0].Throughput
+	for _, r := range results {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Throughput / base
+		}
+		fmt.Printf("               %-8d %14.0f %9.2fx\n", r.Shards, r.Throughput, speedup)
+	}
+}
+
+func writeJSONReport(path string, report benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

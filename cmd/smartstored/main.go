@@ -36,18 +36,32 @@ func main() {
 	traceName := flag.String("trace", "MSN", "trace to synthesize: HP, MSN or EECS")
 	files := flag.Int("files", 20000, "sample population for trace bootstrap")
 	units := flag.Int("units", 60, "storage units")
+	shards := flag.Int("shards", 1, "independent engine shards (1 = unsharded; must not exceed units)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	versioning := flag.Bool("versioning", false, "enable consistency versioning")
 	online := flag.Bool("online", false, "use the on-line multicast query path")
 	autoconfig := flag.Bool("autoconfig", false, "build specialized semantic R-trees per attribute subset")
+	maxChildren := flag.Int("max-children", 0, "semantic R-tree max fan-out M (0 = default 10)")
+	minChildren := flag.Int("min-children", 0, "semantic R-tree min fan-out m (0 = default 2; need 2 ≤ m ≤ M/2)")
 	cacheEntries := flag.Int("cache", 4096, "query-result cache entries (negative disables)")
 	workers := flag.Int("workers", 0, "max concurrently executing requests (0 = 2×GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 8×workers)")
 	flag.Parse()
 
-	store, desc, err := bootstrap(*loadPath, *traceName, *files, *units, *seed,
-		*versioning, *online, *autoconfig)
+	store, desc, err := bootstrap(bootstrapOpts{
+		loadPath:    *loadPath,
+		trace:       *traceName,
+		files:       *files,
+		units:       *units,
+		shards:      *shards,
+		seed:        *seed,
+		versioning:  *versioning,
+		online:      *online,
+		autoconfig:  *autoconfig,
+		maxChildren: *maxChildren,
+		minChildren: *minChildren,
+	})
 	if err != nil {
 		log.Fatalf("smartstored: %v", err)
 	}
@@ -58,8 +72,8 @@ func main() {
 		MaxQueue:     *queue,
 	})
 	st := store.Stats()
-	log.Printf("smartstored: %s — %d files in %d units (%d index units, height %d)",
-		desc, st.Files, st.Units, st.IndexUnits, st.TreeHeight)
+	log.Printf("smartstored: %s — %d files in %d units across %d shards (%d index units, height %d)",
+		desc, st.Files, st.Units, st.Shards, st.IndexUnits, st.TreeHeight)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -90,36 +104,50 @@ func main() {
 	}
 }
 
-// bootstrap builds the store from a snapshot or a synthesized trace.
-func bootstrap(loadPath, traceName string, files, units int, seed uint64,
-	versioning, online, autoconfig bool) (*smartstore.Store, string, error) {
+// bootstrapOpts collects the store-construction flags. Everything in
+// here crosses the wire boundary from operator flags, so bootstrap must
+// return an error — never panic — on any invalid combination.
+type bootstrapOpts struct {
+	loadPath                 string
+	trace                    string
+	files, units, shards     int
+	seed                     uint64
+	versioning, online       bool
+	autoconfig               bool
+	maxChildren, minChildren int
+}
 
+// bootstrap builds the store from a snapshot or a synthesized trace.
+func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 	mode := smartstore.OffLine
-	if online {
+	if o.online {
 		mode = smartstore.OnLine
 	}
 	cfg := smartstore.Config{
-		Units:      units,
-		Seed:       seed,
-		Versioning: versioning,
-		Mode:       mode,
-		AutoConfig: autoconfig,
+		Units:       o.units,
+		Shards:      o.shards,
+		Seed:        o.seed,
+		Versioning:  o.versioning,
+		Mode:        mode,
+		AutoConfig:  o.autoconfig,
+		MaxChildren: o.maxChildren,
+		MinChildren: o.minChildren,
 	}
 
-	if loadPath != "" {
-		f, err := os.Open(loadPath)
+	if o.loadPath != "" {
+		f, err := os.Open(o.loadPath)
 		if err != nil {
 			return nil, "", err
 		}
 		defer f.Close()
 		store, err := smartstore.Load(f, cfg)
 		if err != nil {
-			return nil, "", fmt.Errorf("restoring %s: %w", loadPath, err)
+			return nil, "", fmt.Errorf("restoring %s: %w", o.loadPath, err)
 		}
-		return store, "restored from " + loadPath, nil
+		return store, "restored from " + o.loadPath, nil
 	}
 
-	set, err := smartstore.GenerateTrace(traceName, files, seed)
+	set, err := smartstore.GenerateTrace(o.trace, o.files, o.seed)
 	if err != nil {
 		return nil, "", err
 	}
@@ -127,5 +155,5 @@ func bootstrap(loadPath, traceName string, files, units int, seed uint64,
 	if err != nil {
 		return nil, "", err
 	}
-	return store, "bootstrapped from trace " + traceName, nil
+	return store, "bootstrapped from trace " + o.trace, nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The daemon's store configuration crosses a trust boundary: every
+// value arrives from operator flags. An invalid combination must come
+// back as an error from bootstrap — never a panic out of the tree
+// builder — so a typo in a systemd unit cannot crash-loop the daemon
+// with a stack trace instead of a diagnostic.
+func TestBootstrapRejectsInvalidFanOut(t *testing.T) {
+	cases := []struct {
+		name string
+		o    bootstrapOpts
+		want string
+	}{
+		{
+			name: "min exceeds half of max",
+			o:    bootstrapOpts{trace: "MSN", files: 500, units: 10, shards: 1, seed: 1, maxChildren: 10, minChildren: 7},
+			want: "fan-out",
+		},
+		{
+			name: "min below two",
+			o:    bootstrapOpts{trace: "MSN", files: 500, units: 10, shards: 1, seed: 1, maxChildren: 10, minChildren: 1},
+			want: "fan-out",
+		},
+		{
+			name: "negative fan-out",
+			o:    bootstrapOpts{trace: "MSN", files: 500, units: 10, shards: 1, seed: 1, maxChildren: -4, minChildren: 2},
+			want: "fan-out",
+		},
+		{
+			name: "more shards than units",
+			o:    bootstrapOpts{trace: "MSN", files: 500, units: 4, shards: 8, seed: 1},
+			want: "shards",
+		},
+		{
+			name: "unknown trace",
+			o:    bootstrapOpts{trace: "NOPE", files: 500, units: 10, shards: 1, seed: 1},
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bootstrap panicked: %v", r)
+				}
+			}()
+			_, _, err := bootstrap(tc.o)
+			if err == nil {
+				t.Fatalf("bootstrap accepted invalid config %+v", tc.o)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A valid sharded bootstrap must come up and report its shard count.
+func TestBootstrapShardedStore(t *testing.T) {
+	store, desc, err := bootstrap(bootstrapOpts{trace: "MSN", files: 800, units: 12, shards: 4, seed: 1})
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if store.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", store.Shards())
+	}
+	if st := store.Stats(); st.Files != 800 || st.Units != 12 || len(st.PerShard) != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if !strings.Contains(desc, "MSN") {
+		t.Fatalf("desc %q", desc)
+	}
+}

@@ -44,14 +44,39 @@ func (c *Cluster) offlineMaxGroups() int {
 	return m
 }
 
+// SharedOfflineBudget returns the off-line group budget for a
+// deployment that is one shard of a multi-shard fan-out: the
+// most-correlated group plus a slowly growing sibling allowance,
+// without the solo deployment's 3-group floor — the cross-shard union
+// already supplies breadth, so repeating the floor on every shard would
+// multiply total search work by the shard count.
+func (c *Cluster) SharedOfflineBudget() int {
+	n := len(c.Tree.FirstLevelIndexUnits())
+	m := 1 + n/4
+	if m > n {
+		m = n
+	}
+	return m
+}
+
 // RangeOffline answers a range query with off-line pre-processing
 // (§3.4): the home unit folds the request against its local replica of
 // first-level index-unit summaries and forwards the query directly to
 // the most-correlated group, plus any sibling group whose replica
 // indicates substantial matching mass.
 func (c *Cluster) RangeOffline(q query.Range) ([]uint64, Result) {
+	return c.RangeOfflineN(q, 0)
+}
+
+// RangeOfflineN is RangeOffline with an explicit group budget; a
+// non-positive budget selects the deployment default. The engine uses
+// it to divide one logical query's search breadth across shards.
+func (c *Cluster) RangeOfflineN(q query.Range, maxGroups int) ([]uint64, Result) {
+	if maxGroups <= 0 {
+		maxGroups = c.offlineMaxGroups()
+	}
 	home := c.HomeUnit()
-	targets := c.Tree.RouteRangeGroups(q, c.offlineMaxGroups())
+	targets := c.Tree.RouteRangeGroups(q, maxGroups)
 	return c.runComplex(home, targets, func(g *semtree.Node) ([]uint64, semtree.QueryStats, int) {
 		return c.searchGroupRange(g, q)
 	}, false)
@@ -76,8 +101,17 @@ func (c *Cluster) TopKOnline(q query.TopK) ([]uint64, Result) {
 // any sibling whose MBR also reaches the query point's neighbourhood
 // (the MaxD sibling verification of §3.3.2).
 func (c *Cluster) TopKOffline(q query.TopK) ([]uint64, Result) {
+	return c.TopKOfflineN(q, 0)
+}
+
+// TopKOfflineN is TopKOffline with an explicit group budget; a
+// non-positive budget selects the deployment default.
+func (c *Cluster) TopKOfflineN(q query.TopK, maxGroups int) ([]uint64, Result) {
+	if maxGroups <= 0 {
+		maxGroups = c.offlineMaxGroups()
+	}
 	home := c.HomeUnit()
-	targets := c.Tree.RouteTopKGroups(q, c.offlineMaxGroups())
+	targets := c.Tree.RouteTopKGroups(q, maxGroups)
 	byGroup := map[*semtree.Node][]uint64{}
 	ids, res := c.runComplex(home, targets, func(g *semtree.Node) ([]uint64, semtree.QueryStats, int) {
 		out, st, v := c.searchGroupTopK(g, q)

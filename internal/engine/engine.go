@@ -1,0 +1,471 @@
+// Package engine is the sharded store engine behind the root package's
+// Store: it owns N independent shards — each with its own semantic
+// R-tree forest, cluster deployment, virtual-time state and lock — so
+// concurrent queries and writes on different shards never contend.
+//
+// Placement is semantic and stable: the file population is cut into N
+// contiguous regions of the LSI-ordered semantic space at build time,
+// each region's centroid is frozen, and every later insert routes to
+// the shard whose centroid is nearest in the normalized attribute
+// subspace. An exact id → shard index (maintained on every mutation and
+// rebuilt on load) routes point-wise operations — delete, modify,
+// lookup-by-id — in O(1) without touching the other shards.
+//
+// Queries fan out to the relevant shards in parallel: range queries
+// skip shards whose root MBR misses the query rectangle, top-k answers
+// merge per-shard candidates by true normalized distance under a
+// bounded heap, and reports aggregate with max-latency (shards run in
+// parallel) and summed message/work counts. A single-shard engine
+// executes exactly the original store's code path — no partitioning, no
+// merging — so Shards=1 reproduces the unsharded behaviour bit for bit.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/metadata"
+	"repro/internal/semtree"
+	"repro/internal/snapshot"
+)
+
+// Config parameterizes Build and Restore.
+type Config struct {
+	// Shards is the number of independent shards. 0 selects 1.
+	Shards int
+	// Units is the total number of storage units, distributed across
+	// shards as evenly as the populations allow.
+	Units int
+	// Attrs is the grouping predicate shared by every shard.
+	Attrs []metadata.Attr
+	// Online selects the on-line multicast path as the default complex
+	// query execution.
+	Online bool
+	// AutoConfig builds specialized per-subset trees on every shard.
+	AutoConfig bool
+	// AutoConfigThreshold is the §2.4 index-unit-difference ratio.
+	AutoConfigThreshold float64
+	// Tree carries fan-out bounds and the admission threshold; its
+	// Attrs field is ignored (Config.Attrs wins).
+	Tree semtree.Config
+	// Cluster carries versioning, lazy-update, seed and virtual-scale
+	// settings. Shard 0 uses Cluster.Seed verbatim; later shards derive
+	// distinct deterministic seeds from it.
+	Cluster cluster.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// Engine is a sharded deployment.
+type Engine struct {
+	cfg    Config
+	norm   *metadata.Normalizer
+	shards []*Shard
+	// centroids[i] is shard i's frozen semantic centroid over
+	// cfg.Attrs in normalized space — the stable placement target.
+	centroids [][]float64
+
+	// assign maps file id → shard index; maxID tracks the largest
+	// stored id. Both are guarded by assignMu. placeMu serializes only
+	// the insert routing phase — validation plus id reservation — so
+	// uniqueness checks cannot race another insert, while commits (and
+	// deletes/modifies, which never reserve) proceed in parallel across
+	// shards. Inserts reserve their ids before committing and deletes
+	// unreserve only after committing, so an id always maps to the one
+	// shard that holds (or is about to hold) it.
+	assignMu sync.RWMutex
+	assign   map[uint64]int
+	maxID    uint64
+	placeMu  sync.Mutex
+}
+
+// seedFor derives shard i's deterministic cluster seed. Shard 0 keeps
+// the configured seed verbatim so a single-shard engine reproduces the
+// unsharded deployment exactly.
+func seedFor(base uint64, i int) uint64 {
+	return base + uint64(i)*0x9E3779B97F4A7C15
+}
+
+// Build constructs a sharded engine over the corpus: the population is
+// partitioned into Shards semantic regions, each region deploys its own
+// tree(s) and cluster, and the id index and placement centroids are
+// frozen.
+func Build(files []*metadata.File, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if len(files) == 0 {
+		return nil, fmt.Errorf("engine: empty corpus")
+	}
+	if cfg.Shards < 1 || cfg.Shards > cfg.Units {
+		return nil, fmt.Errorf("engine: %d shards invalid for %d units (need 1 ≤ shards ≤ units)",
+			cfg.Shards, cfg.Units)
+	}
+	if cfg.Shards > len(files) {
+		return nil, fmt.Errorf("engine: %d shards invalid for %d files", cfg.Shards, len(files))
+	}
+	if err := cfg.Tree.Validate(); err != nil {
+		return nil, err
+	}
+
+	norm := &metadata.Normalizer{}
+	norm.Fit(files)
+
+	parts := partition(files, cfg.Shards, norm, cfg.Attrs)
+	e := &Engine{
+		cfg:       cfg,
+		norm:      norm,
+		shards:    make([]*Shard, cfg.Shards),
+		centroids: make([][]float64, cfg.Shards),
+		assign:    make(map[uint64]int, len(files)),
+	}
+	for i, part := range parts {
+		e.shards[i] = buildShard(i, part, norm, cfg, unitShare(cfg.Units, cfg.Shards, i, len(part)),
+			seedFor(cfg.Cluster.Seed, i))
+		e.centroids[i] = centroidOf(norm, part, cfg.Attrs)
+		for _, f := range part {
+			e.assign[f.ID] = i
+			if f.ID > e.maxID {
+				e.maxID = f.ID
+			}
+		}
+	}
+	return e, nil
+}
+
+// Restore wraps an engine around trees restored from a snapshot, one
+// shard per tree, rebuilding the id index and placement centroids from
+// the persisted populations.
+func Restore(trees []*semtree.Tree, cfg Config) (*Engine, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("engine: no shards to restore")
+	}
+	cfg.Shards = len(trees)
+	cfg.Attrs = trees[0].Attrs
+	e := &Engine{
+		cfg:       cfg,
+		norm:      trees[0].Norm,
+		shards:    make([]*Shard, len(trees)),
+		centroids: make([][]float64, len(trees)),
+		assign:    map[uint64]int{},
+	}
+	for i, t := range trees {
+		clCfg := cfg.Cluster
+		clCfg.Seed = seedFor(cfg.Cluster.Seed, i)
+		e.shards[i] = restoreShard(i, t, clCfg)
+		files := t.AllFiles()
+		e.centroids[i] = centroidOf(e.norm, files, t.Attrs)
+		for _, f := range files {
+			e.assign[f.ID] = i
+			if f.ID > e.maxID {
+				e.maxID = f.ID
+			}
+		}
+	}
+	return e, nil
+}
+
+// partition cuts the corpus into shard populations along the same
+// LSI-ordered semantic dimension the in-shard placement uses, so files
+// likely to satisfy the same query land on the same shard. A one-shard
+// engine keeps the corpus untouched (order included) to stay bit-for-
+// bit identical with the unsharded build.
+func partition(files []*metadata.File, shards int, norm *metadata.Normalizer, attrs []metadata.Attr) [][]*metadata.File {
+	if shards == 1 {
+		return [][]*metadata.File{files}
+	}
+	units := semtree.PlaceSemantic(files, shards, norm, attrs)
+	parts := make([][]*metadata.File, len(units))
+	for i, u := range units {
+		parts[i] = u.Files
+	}
+	return parts
+}
+
+// unitShare distributes the total unit budget across shards, clamped to
+// each shard's population.
+func unitShare(units, shards, i, population int) int {
+	share := units / shards
+	if i < units%shards {
+		share++
+	}
+	if share > population {
+		share = population
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// centroidOf freezes a shard's placement centroid.
+func centroidOf(norm *metadata.Normalizer, files []*metadata.File, attrs []metadata.Attr) []float64 {
+	if c := metadata.Centroid(norm, files, attrs); c != nil {
+		return c
+	}
+	return make([]float64, len(attrs))
+}
+
+// shardFor routes a file vector to the shard with the nearest frozen
+// centroid — the stable semantic placement of writes.
+func (e *Engine) shardFor(f *metadata.File) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	v := e.norm.Vector(f, e.cfg.Attrs)
+	best, bestDist := 0, -1.0
+	for i, c := range e.centroids {
+		var d float64
+		for j := range v {
+			if j < len(c) {
+				x := v[j] - c[j]
+				d += x * x
+			}
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Epoch returns the composed mutation epoch: the sum of per-shard
+// epochs. Each shard epoch is monotonic, so the sum is monotonic for
+// any observer, and any committed mutation anywhere changes it — the
+// property result caches key on.
+func (e *Engine) Epoch() uint64 {
+	var sum uint64
+	for _, s := range e.shards {
+		sum += s.epoch.Load()
+	}
+	return sum
+}
+
+// MaxFileID returns the largest file id currently stored (0 when
+// empty), maintained incrementally alongside the id → shard index.
+func (e *Engine) MaxFileID() uint64 {
+	e.assignMu.RLock()
+	defer e.assignMu.RUnlock()
+	return e.maxID
+}
+
+// FileByID returns a copy of the stored file with the given id, routed
+// directly to its owning shard through the id index.
+func (e *Engine) FileByID(id uint64) (metadata.File, bool) {
+	e.assignMu.RLock()
+	idx, ok := e.assign[id]
+	e.assignMu.RUnlock()
+	if !ok {
+		return metadata.File{}, false
+	}
+	return e.shards[idx].fileByID(id)
+}
+
+// InsertBatch validates and inserts files: ids must be nonzero, unique
+// within the batch and absent from the store. The routing phase —
+// validation plus id reservation in the assignment index — is
+// serialized under placeMu so the uniqueness check cannot race another
+// insert; the commit phase then runs outside it, so batches bound for
+// different shards insert in parallel. All target shards are
+// write-locked in ascending order (the deadlock-free total order
+// Save's all-shard read-lock shares) before any insert lands, so each
+// shard — and any snapshot — observes the batch atomically; a query
+// fanning out across shards acquires per-shard read locks
+// independently and sees per-shard (not cross-shard) atomicity. Each
+// affected shard bumps its epoch once.
+func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
+	if len(files) == 0 {
+		return Report{}, nil
+	}
+	// Routing phase: validate, route, and reserve ids under placeMu.
+	e.placeMu.Lock()
+	e.assignMu.RLock()
+	seen := make(map[uint64]bool, len(files))
+	for _, f := range files {
+		if f.ID == 0 {
+			e.assignMu.RUnlock()
+			e.placeMu.Unlock()
+			return Report{}, fmt.Errorf("engine: insert without id (path %q)", f.Path)
+		}
+		if _, stored := e.assign[f.ID]; stored || seen[f.ID] {
+			e.assignMu.RUnlock()
+			e.placeMu.Unlock()
+			return Report{}, fmt.Errorf("engine: duplicate file id %d", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	e.assignMu.RUnlock()
+
+	batches := make(map[int][]*metadata.File)
+	for _, f := range files {
+		idx := e.shardFor(f)
+		batches[idx] = append(batches[idx], f)
+	}
+	e.assignMu.Lock()
+	for idx, batch := range batches {
+		for _, f := range batch {
+			e.assign[f.ID] = idx
+			if f.ID > e.maxID {
+				e.maxID = f.ID
+			}
+		}
+	}
+	e.assignMu.Unlock()
+	e.placeMu.Unlock()
+
+	// Commit phase: lock every target shard in ascending order, then
+	// run the per-shard sub-batches in parallel. A point-wise operation
+	// racing a reserved-but-uncommitted id blocks on the shard lock and
+	// observes the batch once it lands.
+	targets := make([]int, 0, len(batches))
+	for idx := range batches {
+		targets = append(targets, idx)
+	}
+	sort.Ints(targets)
+	for _, idx := range targets {
+		e.shards[idx].mu.Lock()
+	}
+	defer func() {
+		for _, idx := range targets {
+			e.shards[idx].mu.Unlock()
+		}
+	}()
+
+	results := make([]cluster.Result, len(targets))
+	var wg sync.WaitGroup
+	for i, idx := range targets {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			results[i] = e.shards[idx].insertFilesLocked(batches[idx])
+			e.shards[idx].epoch.Add(1)
+		}(i, idx)
+	}
+	wg.Wait()
+
+	var total Report
+	for i, res := range results {
+		rep := reportFrom(res)
+		if i == 0 {
+			total = rep
+		} else {
+			total.mergeParallel(rep)
+		}
+	}
+	return total, nil
+}
+
+// Delete removes a file by id, reporting whether it existed. The id
+// index routes the delete to its owning shard — deletes on different
+// shards run in parallel — and an unknown id is a no-op that touches no
+// shard state and bumps no epoch. The index entry is removed only
+// after the shard commit, so a concurrent insert of the same id is
+// rejected as a duplicate until the delete has fully landed.
+func (e *Engine) Delete(id uint64) (Report, bool) {
+	e.assignMu.RLock()
+	idx, ok := e.assign[id]
+	e.assignMu.RUnlock()
+	if !ok {
+		return Report{}, false
+	}
+	s := e.shards[idx]
+	s.mu.Lock()
+	res, found := s.deleteLocked(id)
+	if found {
+		s.epoch.Add(1)
+	}
+	s.mu.Unlock()
+	if found {
+		e.assignMu.Lock()
+		delete(e.assign, id)
+		if id == e.maxID {
+			e.maxID = 0
+			for fid := range e.assign {
+				if fid > e.maxID {
+					e.maxID = fid
+				}
+			}
+		}
+		e.assignMu.Unlock()
+	}
+	return reportFrom(res), found
+}
+
+// Modify updates an existing file's attributes on its owning shard;
+// modifies on different shards run in parallel.
+func (e *Engine) Modify(f *metadata.File) (Report, bool) {
+	e.assignMu.RLock()
+	idx, ok := e.assign[f.ID]
+	e.assignMu.RUnlock()
+	if !ok {
+		return Report{}, false
+	}
+	s := e.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, found := s.modifyLocked(f)
+	if found {
+		s.epoch.Add(1)
+	}
+	return reportFrom(res), found
+}
+
+// Flush propagates all pending changes on every shard. Each shard whose
+// deployment had pending work bumps its epoch.
+func (e *Engine) Flush() {
+	for _, s := range e.shards {
+		s.flush()
+	}
+}
+
+// Stats aggregates structural statistics across shards and returns the
+// per-shard breakdown.
+func (e *Engine) Stats() (total ShardStats, per []ShardStats) {
+	per = make([]ShardStats, len(e.shards))
+	weightedBytes := 0
+	for i, s := range e.shards {
+		per[i] = s.stats()
+		total.Units += per[i].Units
+		total.IndexUnits += per[i].IndexUnits
+		total.Files += per[i].Files
+		total.Trees += per[i].Trees
+		total.IndexBytesTotal += per[i].IndexBytesTotal
+		if per[i].TreeHeight > total.TreeHeight {
+			total.TreeHeight = per[i].TreeHeight
+		}
+		total.Epoch += per[i].Epoch
+		weightedBytes += per[i].IndexBytesPerNode * per[i].Units
+	}
+	if total.Units > 0 {
+		total.IndexBytesPerNode = weightedBytes / total.Units
+	}
+	total.Shard = -1
+	return total, per
+}
+
+// Snapshot captures the engine under every shard's read lock — taken
+// in ascending order before any shard is captured, so a snapshot
+// racing a multi-shard batch sees either all of it or none of it.
+func (e *Engine) Snapshot() *snapshot.Snapshot {
+	for _, s := range e.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for _, s := range e.shards {
+			s.mu.RUnlock()
+		}
+	}()
+	trees := make([]*semtree.Tree, len(e.shards))
+	for i, s := range e.shards {
+		trees[i] = s.primary.Tree
+	}
+	return snapshot.CaptureShards(trees)
+}

@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/metadata"
+	"repro/internal/query"
+)
+
+// Report carries the aggregated accounting of one engine operation in
+// the same units as cluster.Result (seconds of virtual time, message
+// counts). Across shards, latencies aggregate by max — the shards ran
+// in parallel — while messages and per-node work sum.
+type Report struct {
+	Latency        float64
+	Messages       int64
+	Hops           int
+	UnitsSearched  int
+	VersionChecked int
+	VersionLatency float64
+}
+
+func reportFrom(r cluster.Result) Report {
+	return Report{
+		Latency:        float64(r.Latency),
+		Messages:       r.Messages,
+		Hops:           r.Hops,
+		UnitsSearched:  r.UnitsSearched,
+		VersionChecked: r.VersionChecked,
+		VersionLatency: float64(r.VersionLatency),
+	}
+}
+
+// mergeParallel folds another shard's report into r under the parallel
+// execution model: wall time is the slowest shard, work and traffic
+// add up.
+func (r *Report) mergeParallel(o Report) {
+	if o.Latency > r.Latency {
+		r.Latency = o.Latency
+	}
+	if o.VersionLatency > r.VersionLatency {
+		r.VersionLatency = o.VersionLatency
+	}
+	r.Messages += o.Messages
+	r.Hops += o.Hops
+	r.UnitsSearched += o.UnitsSearched
+	r.VersionChecked += o.VersionChecked
+}
+
+// QueryOpts carries the execution options of one engine query.
+type QueryOpts struct {
+	// Online selects the on-line multicast path on every shard.
+	Online bool
+	// Limit truncates the merged answer (0 = unlimited).
+	Limit int
+	// IncludeRecords projects full record copies into Answer.Records.
+	IncludeRecords bool
+}
+
+// Answer is the merged result of one engine query.
+type Answer struct {
+	IDs       []uint64
+	Records   []metadata.File
+	Truncated bool
+	Report    Report
+}
+
+// allShards returns every shard index — the target set of exhaustive
+// fan-outs.
+func (e *Engine) allShards() []int {
+	out := make([]int, len(e.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// fanout runs one query function on the target shards in parallel and
+// collects the per-shard answers in target order. The first failing
+// shard cancels the rest (shards queued on their deployment slot
+// abandon the wait) and its error is returned. A single target runs
+// inline with the caller's context untouched.
+func (e *Engine) fanout(ctx context.Context, targets []int, run func(ctx context.Context, s *Shard) (answer, error)) ([]answer, error) {
+	if len(targets) == 1 {
+		a, err := run(ctx, e.shards[targets[0]])
+		if err != nil {
+			return nil, err
+		}
+		return []answer{a}, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	answers := make([]answer, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, idx := range targets {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			a, err := run(ctx, s)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			answers[i] = a
+		}(i, e.shards[idx])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}
+
+// offlineMaxShards caps how many shards an off-line top-k fan-out may
+// touch: the most-correlated shard plus a few siblings, growing slowly
+// with the shard count — the shard-level analogue of the cluster's
+// offlineMaxGroups, keeping the search "bounded within one or a small
+// number of tree nodes" (§3.1.2) at any scale.
+func (e *Engine) offlineMaxShards() int {
+	n := len(e.shards)
+	m := 1 + n/4
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// nearestShards ranks shards by placement-centroid distance to the
+// query point (normalized space) and returns the closest max indices —
+// the shard-level off-line routing that mirrors the paper's
+// replica-vector group routing. When the queried attributes share no
+// dimension with the placement predicate, centroid distances carry no
+// signal (every distance is zero), so the routing falls back to all
+// shards rather than silently searching an arbitrary fixed prefix.
+func (e *Engine) nearestShards(attrs []metadata.Attr, point []float64, max int) []int {
+	overlap := false
+	for _, a := range attrs {
+		for _, ca := range e.cfg.Attrs {
+			if ca == a {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		return e.allShards()
+	}
+	type ranked struct {
+		idx  int
+		dist float64
+	}
+	// Project the query point and each centroid onto the queried
+	// attribute dimensions of the placement space.
+	rs := make([]ranked, len(e.shards))
+	for i, centroid := range e.centroids {
+		var d float64
+		for j, a := range attrs {
+			v := e.norm.Value(a, point[j])
+			// Placement centroids span cfg.Attrs; find the matching
+			// dimension (small fixed-size scan).
+			for k, ca := range e.cfg.Attrs {
+				if ca == a && k < len(centroid) {
+					x := v - centroid[k]
+					d += x * x
+				}
+			}
+		}
+		rs[i] = ranked{idx: i, dist: d}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].dist != rs[j].dist {
+			return rs[i].dist < rs[j].dist
+		}
+		return rs[i].idx < rs[j].idx
+	})
+	if max > len(rs) {
+		max = len(rs)
+	}
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = rs[i].idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Point answers a filename point query: any shard may hold the path
+// (placement is by attribute vector, not name), so the query fans out
+// to all shards — skipping those whose root Bloom filter rejects the
+// name — and unions the matches in shard order.
+func (e *Engine) Point(ctx context.Context, q query.Point, opts QueryOpts) (Answer, error) {
+	prune := len(e.shards) > 1
+	proj := projectOpts{records: opts.IncludeRecords, max: opts.Limit}
+	answers, err := e.fanout(ctx, e.allShards(), func(ctx context.Context, s *Shard) (answer, error) {
+		return s.point(ctx, q, prune, proj)
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	return e.mergeUnion(answers, opts), nil
+}
+
+// Range answers a multi-dimensional range query: the fan-out skips
+// shards whose root MBR misses the query rectangle (the semantic
+// narrowing of the paper, lifted to the shard level) and unions the
+// rest in shard order.
+func (e *Engine) Range(ctx context.Context, q query.Range, opts QueryOpts) (Answer, error) {
+	prune := len(e.shards) > 1
+	// Union merges keep a prefix in shard order, so no shard can place
+	// more than Limit ids in the final answer — cap its projection there.
+	proj := projectOpts{records: opts.IncludeRecords, max: opts.Limit}
+	answers, err := e.fanout(ctx, e.allShards(), func(ctx context.Context, s *Shard) (answer, error) {
+		return s.rangeQuery(ctx, q, opts.Online, prune, proj)
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	return e.mergeUnion(answers, opts), nil
+}
+
+// TopK answers a top-k nearest-neighbour query. On-line, every shard
+// returns its local top k; off-line, the fan-out routes to the few
+// shards whose placement centroids are most correlated with the query
+// point (the shard-level analogue of §3.4's replica-vector routing).
+// The engine keeps the k globally nearest candidates by true normalized
+// distance under a bounded max-heap. A single-shard engine returns the
+// shard's answer untouched.
+func (e *Engine) TopK(ctx context.Context, q query.TopK, opts QueryOpts) (Answer, error) {
+	multi := len(e.shards) > 1
+	targets := e.allShards()
+	if multi && !opts.Online {
+		targets = e.nearestShards(q.Attrs, q.Point, e.offlineMaxShards())
+	}
+	answers, err := e.fanout(ctx, targets, func(ctx context.Context, s *Shard) (answer, error) {
+		return s.topK(ctx, q, opts.Online, multi, opts.IncludeRecords)
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	if !multi {
+		return e.finish(answers[0].ids, answers, opts), nil
+	}
+	ids := mergeTopK(answers, q.K)
+	return e.finish(ids, answers, opts), nil
+}
+
+// mergeUnion concatenates per-shard ids in shard order and finishes the
+// answer (limit, records, report aggregation).
+func (e *Engine) mergeUnion(answers []answer, opts QueryOpts) Answer {
+	total := 0
+	for _, a := range answers {
+		total += len(a.ids)
+	}
+	ids := make([]uint64, 0, total)
+	for _, a := range answers {
+		ids = append(ids, a.ids...)
+	}
+	return e.finish(ids, answers, opts)
+}
+
+// topkCand pairs a candidate with its true distance for heap merging.
+type topkCand struct {
+	id   uint64
+	dist float64
+}
+
+// candHeap is a bounded max-heap over (dist, id): the root is the
+// current worst of the k best, so a better candidate replaces it in
+// O(log k) and the merge never materializes more than k entries.
+type candHeap []topkCand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist > h[j].dist
+	}
+	return h[i].id > h[j].id
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(topkCand)) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h candHeap) worse(c topkCand) bool {
+	if h[0].dist != c.dist {
+		return h[0].dist > c.dist
+	}
+	return h[0].id > c.id
+}
+
+// mergeTopK folds per-shard top-k candidate lists into the k globally
+// nearest, ordered ascending by (distance, id) — the same total order
+// the per-cluster rerank uses, so a sharded answer matches the
+// single-deployment answer on identical data.
+func mergeTopK(answers []answer, k int) []uint64 {
+	// k is remote-controlled (the wire layer only requires k ≥ 1), so
+	// the heap's preallocation is bounded by the actual candidate count
+	// — it can never hold more entries than the shards returned.
+	prealloc := 0
+	for _, a := range answers {
+		prealloc += len(a.ids)
+	}
+	if k < prealloc {
+		prealloc = k
+	}
+	h := make(candHeap, 0, prealloc)
+	for _, a := range answers {
+		for i, id := range a.ids {
+			c := topkCand{id: id, dist: a.dists[i]}
+			if len(h) < k {
+				heap.Push(&h, c)
+			} else if h.worse(c) {
+				h[0] = c
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+	out := make([]topkCand, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]uint64, len(out))
+	for i, c := range out {
+		ids[i] = c.id
+	}
+	return ids
+}
+
+// finish applies the limit, projects records for the final ids from the
+// owning shards' captures, and aggregates the per-shard reports.
+func (e *Engine) finish(ids []uint64, answers []answer, opts QueryOpts) Answer {
+	var out Answer
+	if opts.Limit > 0 && len(ids) > opts.Limit {
+		ids = ids[:opts.Limit]
+		out.Truncated = true
+	}
+	out.IDs = ids
+	first := true
+	contributing := 0
+	for _, a := range answers {
+		if a.pruned {
+			continue
+		}
+		if len(a.ids) > 0 {
+			contributing++
+		}
+		rep := reportFrom(a.res)
+		if first {
+			out.Report = rep
+			first = false
+		} else {
+			out.Report.mergeParallel(rep)
+		}
+	}
+	// Routing distance composes across shards like it does across
+	// groups: per-shard hops count groups beyond each shard's first, so
+	// crossing into every additional contributing shard adds one more
+	// hop (a single-shard answer adds none — identical to the unsharded
+	// accounting).
+	if contributing > 1 {
+		out.Report.Hops += contributing - 1
+	}
+	if opts.IncludeRecords {
+		out.Records = make([]metadata.File, 0, len(ids))
+		for _, id := range ids {
+			for _, a := range answers {
+				if f, ok := a.recs[id]; ok {
+					out.Records = append(out.Records, f)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -482,3 +482,32 @@ func (t *Tree) AllFiles() []*metadata.File {
 	}
 	return out
 }
+
+// OverlapsRange reports whether the tree's root MBR intersects the
+// range query's rectangle — the shard-level pruning test the engine's
+// fan-out uses to skip shards whose entire population falls outside the
+// queried window without touching their deployment state.
+func (t *Tree) OverlapsRange(q query.Range) bool {
+	if !t.Root.HasMBR {
+		return false
+	}
+	return t.Root.MBR.Intersects(queryRect(q.Attrs, q.Lo, q.Hi))
+}
+
+// MayContainPath reports whether any storage unit's Bloom filter admits
+// the path — the shard-level pruning test for point-query fan-out.
+// Names enter unit filters the moment a file is inserted (visibility
+// staleness applies only to the replicated query snapshot), and Bloom
+// filters never delete, so a negative proves the shard cannot answer:
+// no false negatives, only the per-unit false-positive rate. Individual
+// unit filters are consulted rather than the root's union — OR-ing the
+// member checks has a far lower false-positive rate than one filter
+// whose bit array is the union of all of them.
+func (t *Tree) MayContainPath(path string) bool {
+	for _, l := range t.leaves {
+		if l.Unit.MayContain(path) {
+			return true
+		}
+	}
+	return false
+}

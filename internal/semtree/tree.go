@@ -32,11 +32,36 @@ func (c Config) withDefaults() Config {
 	if c.MinChildren == 0 {
 		c.MinChildren = 2
 	}
-	if c.MinChildren < 2 || c.MinChildren > c.MaxChildren/2 {
-		panic(fmt.Sprintf("semtree: invalid fan-out m=%d M=%d (need 2 ≤ m ≤ M/2)",
-			c.MinChildren, c.MaxChildren))
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return c
+}
+
+// Validate reports whether the configuration can build a tree: the
+// fan-out bounds, after applying defaults, must satisfy 2 ≤ m ≤ M/2
+// (§4.1), and the admission threshold must lie in [0, 1]. Callers that
+// accept configuration across a trust boundary (the daemon's flags, the
+// root package's Build/Load) check this and return the error instead of
+// letting Build panic.
+func (c Config) Validate() error {
+	m, M := c.MinChildren, c.MaxChildren
+	if M == 0 {
+		M = 10
+	}
+	if m == 0 {
+		m = 2
+	}
+	if m < 0 || M < 0 {
+		return fmt.Errorf("semtree: negative fan-out m=%d M=%d", c.MinChildren, c.MaxChildren)
+	}
+	if m < 2 || m > M/2 {
+		return fmt.Errorf("semtree: invalid fan-out m=%d M=%d (need 2 ≤ m ≤ M/2)", m, M)
+	}
+	if c.BaseThreshold < 0 || c.BaseThreshold > 1 {
+		return fmt.Errorf("semtree: admission threshold %g outside [0,1]", c.BaseThreshold)
+	}
+	return nil
 }
 
 // Tree is one semantic R-tree over a set of storage units.

@@ -5,11 +5,13 @@
 //
 // Three mechanisms turn the library into a service:
 //
-//   - the Store's own concurrency layer (parallel readers, serialized
-//     writers, a mutation epoch — see the root package);
+//   - the Store's sharded engine (per-shard locking, parallel query
+//     fan-out, a composed mutation epoch — see the root package and
+//     internal/engine);
 //   - an LRU query-result cache keyed by normalized query text and
-//     invalidated wholesale on any epoch bump, so the common read-heavy
-//     metadata workload short-circuits repeated complex queries;
+//     invalidated wholesale on any composed-epoch change, so the common
+//     read-heavy metadata workload short-circuits repeated complex
+//     queries regardless of which shard a mutation landed on;
 //   - bounded worker-pool admission: at most Workers requests execute
 //     concurrently and at most MaxQueue more wait; beyond that the
 //     server sheds load with 503 instead of collapsing under it.
@@ -468,6 +470,18 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	st := s.store.Stats()
+	perShard := make([]ShardStats, len(st.PerShard))
+	for i, p := range st.PerShard {
+		perShard[i] = ShardStats{
+			Shard:      p.Shard,
+			Units:      p.Units,
+			IndexUnits: p.IndexUnits,
+			TreeHeight: p.TreeHeight,
+			Files:      p.Files,
+			Trees:      p.Trees,
+			Epoch:      p.Epoch,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Store: StoreStats{
 			Units:             st.Units,
@@ -478,6 +492,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			IndexBytesTotal:   st.IndexBytesTotal,
 			IndexBytesPerNode: st.IndexBytesPerNode,
 			Epoch:             s.store.Epoch(),
+			Shards:            st.Shards,
+			PerShard:          perShard,
 		},
 		Server: ServerStats{
 			UptimeSec: time.Since(s.start).Seconds(),

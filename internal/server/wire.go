@@ -267,17 +267,32 @@ type FlushResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-// StoreStats is the wire form of smartstore.Stats plus the mutation
-// epoch.
+// StoreStats is the wire form of smartstore.Stats plus the composed
+// mutation epoch and the per-shard breakdown.
 type StoreStats struct {
-	Units             int    `json:"units"`
-	IndexUnits        int    `json:"index_units"`
-	TreeHeight        int    `json:"tree_height"`
-	Files             int    `json:"files"`
-	Trees             int    `json:"trees"`
-	IndexBytesTotal   int    `json:"index_bytes_total"`
-	IndexBytesPerNode int    `json:"index_bytes_per_node"`
-	Epoch             uint64 `json:"epoch"`
+	Units             int          `json:"units"`
+	IndexUnits        int          `json:"index_units"`
+	TreeHeight        int          `json:"tree_height"`
+	Files             int          `json:"files"`
+	Trees             int          `json:"trees"`
+	IndexBytesTotal   int          `json:"index_bytes_total"`
+	IndexBytesPerNode int          `json:"index_bytes_per_node"`
+	Epoch             uint64       `json:"epoch"`
+	Shards            int          `json:"shards"`
+	PerShard          []ShardStats `json:"per_shard,omitempty"`
+}
+
+// ShardStats is one engine shard's slice of the deployment: its units,
+// index structure, resident files and its own mutation epoch (the
+// store-wide epoch is the sum across shards).
+type ShardStats struct {
+	Shard      int    `json:"shard"`
+	Units      int    `json:"units"`
+	IndexUnits int    `json:"index_units"`
+	TreeHeight int    `json:"tree_height"`
+	Files      int    `json:"files"`
+	Trees      int    `json:"trees"`
+	Epoch      uint64 `json:"epoch"`
 }
 
 // CacheStats reports query-cache effectiveness.

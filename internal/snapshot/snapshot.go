@@ -1,14 +1,17 @@
 // Package snapshot persists and restores a SmartStore deployment: the
 // storage-unit partition (which files live on which metadata server),
-// the fitted attribute normalizer, and the construction configuration.
-// Restoring rebuilds the semantic R-tree deterministically from the
-// persisted partition, so a restored store answers queries identically
-// to the one that was saved.
+// the shard assignment (which storage units live on which engine
+// shard), the fitted attribute normalizer, and the construction
+// configuration. Restoring rebuilds each shard's semantic R-tree
+// deterministically from the persisted partition, so a restored store
+// answers queries identically to the one that was saved.
 //
 // The format is Go gob over a versioned envelope, suitable for the
 // metadata checkpointing a next-generation file system would perform at
 // reconfiguration points (§4.4 removes versions "when reconfiguring
-// index units" — a natural snapshot boundary).
+// index units" — a natural snapshot boundary). Version 2 adds the
+// per-shard unit partition; version 1 snapshots (single flat partition)
+// still load as a one-shard deployment.
 package snapshot
 
 import (
@@ -20,14 +23,16 @@ import (
 	"repro/internal/semtree"
 )
 
-// FormatVersion guards against decoding snapshots from incompatible
-// builds.
-const FormatVersion = 1
+// FormatVersion is the version new snapshots are written with.
+const FormatVersion = 2
+
+// formatV1 is the legacy single-shard format, still accepted on read.
+const formatV1 = 1
 
 // Snapshot is the persisted form of a deployment.
 type Snapshot struct {
 	Version int
-	// Attrs is the grouping predicate of the persisted tree.
+	// Attrs is the grouping predicate of the persisted trees.
 	Attrs []metadata.Attr
 	// BaseThreshold, MaxChildren, MinChildren mirror semtree.Config.
 	BaseThreshold float64
@@ -38,7 +43,17 @@ type Snapshot struct {
 	// gob otherwise).
 	NormLo, NormHi [metadata.NumAttrs]float64
 	NormFitted     bool
-	// Units holds each storage unit's id and file records.
+	// Units holds the flat storage-unit partition of a version-1
+	// snapshot. Version-2 snapshots leave it empty and use Shards.
+	Units []UnitRecord
+	// Shards holds each shard's storage-unit partition (version ≥ 2) —
+	// the shard assignment round-trips, so a restored engine keeps the
+	// same placement.
+	Shards []ShardRecord
+}
+
+// ShardRecord is one shard's persisted partition.
+type ShardRecord struct {
 	Units []UnitRecord
 }
 
@@ -48,24 +63,38 @@ type UnitRecord struct {
 	Files []metadata.File
 }
 
-// Capture extracts a snapshot from a built tree.
+// Capture extracts a single-shard snapshot from a built tree.
 func Capture(t *semtree.Tree) *Snapshot {
+	return CaptureShards([]*semtree.Tree{t})
+}
+
+// CaptureShards extracts a snapshot from one tree per shard. All trees
+// must share a grouping predicate, configuration and normalizer (the
+// engine guarantees this); the shared state is captured from the first.
+func CaptureShards(trees []*semtree.Tree) *Snapshot {
+	if len(trees) == 0 {
+		panic("snapshot: no trees to capture")
+	}
+	t0 := trees[0]
 	s := &Snapshot{
 		Version:       FormatVersion,
-		Attrs:         append([]metadata.Attr(nil), t.Attrs...),
-		BaseThreshold: t.Config.BaseThreshold,
-		MaxChildren:   t.Config.MaxChildren,
-		MinChildren:   t.Config.MinChildren,
-		NormLo:        t.Norm.Lo,
-		NormHi:        t.Norm.Hi,
-		NormFitted:    t.Norm.Fitted(),
+		Attrs:         append([]metadata.Attr(nil), t0.Attrs...),
+		BaseThreshold: t0.Config.BaseThreshold,
+		MaxChildren:   t0.Config.MaxChildren,
+		MinChildren:   t0.Config.MinChildren,
+		NormLo:        t0.Norm.Lo,
+		NormHi:        t0.Norm.Hi,
+		NormFitted:    t0.Norm.Fitted(),
+		Shards:        make([]ShardRecord, len(trees)),
 	}
-	for _, u := range t.Units() {
-		rec := UnitRecord{ID: u.ID, Files: make([]metadata.File, len(u.Files))}
-		for i, f := range u.Files {
-			rec.Files[i] = *f
+	for i, t := range trees {
+		for _, u := range t.Units() {
+			rec := UnitRecord{ID: u.ID, Files: make([]metadata.File, len(u.Files))}
+			for j, f := range u.Files {
+				rec.Files[j] = *f
+			}
+			s.Shards[i].Units = append(s.Shards[i].Units, rec)
 		}
-		s.Units = append(s.Units, rec)
 	}
 	return s
 }
@@ -78,34 +107,64 @@ func (s *Snapshot) Write(w io.Writer) error {
 	return nil
 }
 
-// Read decodes a snapshot from r, validating the format version.
+// Read decodes a snapshot from r, validating the format version. A
+// version-1 stream (flat partition) is lifted into a one-shard
+// snapshot, so pre-sharding snapshots keep loading.
 func Read(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("snapshot: decode: %w", err)
 	}
-	if s.Version != FormatVersion {
-		return nil, fmt.Errorf("snapshot: format version %d, want %d", s.Version, FormatVersion)
-	}
-	if len(s.Units) == 0 {
-		return nil, fmt.Errorf("snapshot: no storage units")
+	switch s.Version {
+	case formatV1:
+		if len(s.Units) == 0 {
+			return nil, fmt.Errorf("snapshot: no storage units")
+		}
+		s.Shards = []ShardRecord{{Units: s.Units}}
+		s.Units = nil
+	case FormatVersion:
+		if len(s.Shards) == 0 {
+			return nil, fmt.Errorf("snapshot: no shards")
+		}
+		for i, sh := range s.Shards {
+			if len(sh.Units) == 0 {
+				return nil, fmt.Errorf("snapshot: shard %d has no storage units", i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("snapshot: format version %d, want ≤ %d", s.Version, FormatVersion)
 	}
 	return &s, nil
 }
 
-// Restore rebuilds the semantic R-tree from the persisted partition.
-// The tree is structurally regenerated (grouping is deterministic given
-// the same units, normalizer and config), so every persisted file is
-// findable in the restored tree.
+// ShardCount returns the number of persisted shards.
+func (s *Snapshot) ShardCount() int { return len(s.Shards) }
+
+// Restore rebuilds the semantic R-tree of a single-shard snapshot. It
+// errors when the snapshot holds more than one shard — multi-shard
+// callers use RestoreShards.
 func (s *Snapshot) Restore() (*semtree.Tree, error) {
-	units := make([]*semtree.StorageUnit, len(s.Units))
-	for i, rec := range s.Units {
-		files := make([]*metadata.File, len(rec.Files))
-		for j := range rec.Files {
-			f := rec.Files[j]
-			files[j] = &f
-		}
-		units[i] = semtree.NewStorageUnit(rec.ID, files)
+	trees, err := s.RestoreShards()
+	if err != nil {
+		return nil, err
+	}
+	if len(trees) != 1 {
+		return nil, fmt.Errorf("snapshot: %d shards, want 1 (use RestoreShards)", len(trees))
+	}
+	return trees[0], nil
+}
+
+// RestoreShards rebuilds one semantic R-tree per persisted shard. Each
+// tree is structurally regenerated (grouping is deterministic given the
+// same units, normalizer and config), so every persisted file is
+// findable in its restored shard.
+func (s *Snapshot) RestoreShards() ([]*semtree.Tree, error) {
+	if err := (semtree.Config{
+		BaseThreshold: s.BaseThreshold,
+		MaxChildren:   s.MaxChildren,
+		MinChildren:   s.MinChildren,
+	}).Validate(); err != nil {
+		return nil, fmt.Errorf("snapshot: persisted config invalid: %w", err)
 	}
 	norm := metadata.RestoreNormalizer(s.NormLo, s.NormHi, s.NormFitted)
 	cfg := semtree.Config{
@@ -114,16 +173,34 @@ func (s *Snapshot) Restore() (*semtree.Tree, error) {
 		MaxChildren:   s.MaxChildren,
 		MinChildren:   s.MinChildren,
 	}
-	tree := semtree.Build(units, norm, cfg)
-	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("snapshot: restored tree invalid: %w", err)
+	trees := make([]*semtree.Tree, len(s.Shards))
+	for i, sh := range s.Shards {
+		units := make([]*semtree.StorageUnit, len(sh.Units))
+		for j, rec := range sh.Units {
+			files := make([]*metadata.File, len(rec.Files))
+			for k := range rec.Files {
+				f := rec.Files[k]
+				files[k] = &f
+			}
+			units[j] = semtree.NewStorageUnit(rec.ID, files)
+		}
+		tree := semtree.Build(units, norm, cfg)
+		if err := tree.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: restored shard %d invalid: %w", i, err)
+		}
+		trees[i] = tree
 	}
-	return tree, nil
+	return trees, nil
 }
 
 // FileCount returns the number of persisted file records.
 func (s *Snapshot) FileCount() int {
 	n := 0
+	for _, sh := range s.Shards {
+		for _, u := range sh.Units {
+			n += len(u.Files)
+		}
+	}
 	for _, u := range s.Units {
 		n += len(u.Files)
 	}

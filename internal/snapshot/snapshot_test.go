@@ -139,9 +139,81 @@ func TestCaptureIsDeepCopy(t *testing.T) {
 	tree, set := buildTree(t, 100, 4, 9)
 	snap := Capture(tree)
 	// Mutating the live tree must not affect the captured snapshot.
-	orig := snap.Units[0].Files[0].Attrs
+	orig := snap.Shards[0].Units[0].Files[0].Attrs
 	set.Files[0].Attrs[0] = -12345
-	if snap.Units[0].Files[0].Attrs != orig {
+	if snap.Shards[0].Units[0].Files[0].Attrs != orig {
 		t.Fatal("snapshot shares file storage with the live tree")
+	}
+}
+
+func TestV1SnapshotLoadsAsOneShard(t *testing.T) {
+	// A pre-sharding stream: version 1, flat Units, no Shards — exactly
+	// what older builds wrote. It must lift into a one-shard snapshot.
+	tree, _ := buildTree(t, 120, 4, 13)
+	v2 := Capture(tree)
+	v1 := &Snapshot{
+		Version:       1,
+		Attrs:         v2.Attrs,
+		BaseThreshold: v2.BaseThreshold,
+		MaxChildren:   v2.MaxChildren,
+		MinChildren:   v2.MinChildren,
+		NormLo:        v2.NormLo,
+		NormHi:        v2.NormHi,
+		NormFitted:    v2.NormFitted,
+		Units:         v2.Shards[0].Units,
+	}
+	var buf bytes.Buffer
+	if err := v1.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if back.ShardCount() != 1 {
+		t.Fatalf("v1 snapshot lifted to %d shards, want 1", back.ShardCount())
+	}
+	if back.FileCount() != 120 {
+		t.Fatalf("v1 FileCount = %d, want 120", back.FileCount())
+	}
+	restored, err := back.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalFiles() != 120 {
+		t.Fatalf("restored files = %d, want 120", restored.TotalFiles())
+	}
+}
+
+func TestMultiShardRoundTrip(t *testing.T) {
+	t1, _ := buildTree(t, 200, 4, 21)
+	t2, _ := buildTree(t, 300, 6, 22)
+	snap := CaptureShards([]*semtree.Tree{t1, t2})
+	if snap.ShardCount() != 2 || snap.FileCount() != 500 {
+		t.Fatalf("captured %d shards / %d files, want 2 / 500", snap.ShardCount(), snap.FileCount())
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := back.RestoreShards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("restored %d shards, want 2", len(trees))
+	}
+	if trees[0].TotalFiles() != 200 || trees[1].TotalFiles() != 300 {
+		t.Fatalf("shard assignment did not round-trip: %d/%d files",
+			trees[0].TotalFiles(), trees[1].TotalFiles())
+	}
+	// Restore on a multi-shard snapshot must refuse rather than drop
+	// shards silently.
+	if _, err := back.Restore(); err == nil {
+		t.Fatal("single-tree Restore accepted a multi-shard snapshot")
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -204,11 +204,14 @@ type Result struct {
 // the wire layer's /v1/query endpoint calls it directly.
 //
 // Do validates before touching the store and returns errors — wrapping
-// ErrInvalidQuery — where the legacy constructors panicked. The context
-// is honoured between routing phases: before admission to the store,
-// while waiting for the deployment's query slot, and again between
-// query execution and record projection; a cancelled context returns
-// ctx.Err().
+// ErrInvalidQuery — where the legacy constructors panicked. The query
+// then fans out to the relevant engine shards in parallel: range
+// queries skip shards whose root MBR misses the query rectangle, top-k
+// answers merge by true normalized distance, and the report aggregates
+// max-latency / summed-messages across shards. The context is honoured
+// between routing phases: before admission, while each shard waits for
+// its deployment's query slot, and again between query execution and
+// record projection; a cancelled context returns ctx.Err().
 func (s *Store) Do(ctx context.Context, q Query) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
@@ -216,15 +219,7 @@ func (s *Store) Do(ctx context.Context, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 
-	// Routing phase: pick the deployment (specialized tree under
-	// auto-configuration) and the execution path for this query.
-	c := s.primary
-	if q.Kind != KindPoint {
-		c = s.clusterFor(q.Attrs)
-	}
 	online := s.cfg.Mode == OnLine
 	switch q.Options.Mode {
 	case ModeOnline:
@@ -232,60 +227,39 @@ func (s *Store) Do(ctx context.Context, q Query) (Result, error) {
 	case ModeOffline:
 		online = false
 	}
+	opts := engine.QueryOpts{
+		Online:         online,
+		Limit:          q.Options.Limit,
+		IncludeRecords: q.Options.IncludeRecords,
+	}
 
-	var out Result
-	err := s.runQueryCtx(ctx, c, func() error {
-		var ids []uint64
-		var res cluster.Result
-		switch q.Kind {
-		case KindPoint:
-			ids, res = c.Point(query.Point{Filename: q.Path})
-		case KindRange:
-			rq, err := query.MakeRange(q.Attrs, q.Lo, q.Hi)
-			if err != nil {
-				return fmt.Errorf("%w: %v", ErrInvalidQuery, err)
-			}
-			if online {
-				ids, res = c.RangeOnline(rq)
-			} else {
-				ids, res = c.RangeOffline(rq)
-			}
-		case KindTopK:
-			tq, err := query.MakeTopK(q.Attrs, q.Point, q.K)
-			if err != nil {
-				return fmt.Errorf("%w: %v", ErrInvalidQuery, err)
-			}
-			if online {
-				ids, res = c.TopKOnline(tq)
-			} else {
-				ids, res = c.TopKOffline(tq)
-			}
+	var ans engine.Answer
+	var err error
+	switch q.Kind {
+	case KindPoint:
+		ans, err = s.eng.Point(ctx, query.Point{Filename: q.Path}, opts)
+	case KindRange:
+		rq, qerr := query.MakeRange(q.Attrs, q.Lo, q.Hi)
+		if qerr != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrInvalidQuery, qerr)
 		}
-		if q.Options.Limit > 0 && len(ids) > q.Options.Limit {
-			ids = ids[:q.Options.Limit]
-			out.Truncated = true
+		ans, err = s.eng.Range(ctx, rq, opts)
+	case KindTopK:
+		tq, qerr := query.MakeTopK(q.Attrs, q.Point, q.K)
+		if qerr != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrInvalidQuery, qerr)
 		}
-		out.IDs = ids
-		out.Report = fromResult(res)
-		// Projection phase: resolve ids to records while still holding
-		// the deployment slot (the id index builds lazily under it).
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if q.Options.IncludeRecords {
-			out.Records = make([]File, 0, len(ids))
-			for _, id := range ids {
-				if f, ok := c.FileByID(id); ok {
-					out.Records = append(out.Records, *f)
-				}
-			}
-		}
-		return nil
-	})
+		ans, err = s.eng.TopK(ctx, tq, opts)
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	return out, nil
+	return Result{
+		IDs:       ans.IDs,
+		Records:   ans.Records,
+		Truncated: ans.Truncated,
+		Report:    fromEngineReport(ans.Report),
+	}, nil
 }
 
 // PointQuery looks up file metadata by exact pathname (§3.3.3). It is a

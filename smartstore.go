@@ -32,14 +32,11 @@
 package smartstore
 
 import (
-	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/metadata"
-	"repro/internal/query"
 	"repro/internal/semtree"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -82,8 +79,15 @@ const (
 
 // Config parameterizes Build.
 type Config struct {
-	// Units is the number of storage units (metadata servers). The
-	// prototype evaluation uses 60. Default 60.
+	// Shards is the number of independent engine shards the deployment
+	// is partitioned into. Each shard owns its own semantic R-tree
+	// forest, cluster deployment, virtual-time state and lock, so
+	// operations on different shards never contend; queries fan out to
+	// the relevant shards in parallel and merge. Default 1, which
+	// reproduces the unsharded store exactly. Must not exceed Units.
+	Shards int
+	// Units is the number of storage units (metadata servers), summed
+	// across shards. The prototype evaluation uses 60. Default 60.
 	Units int
 	// Attrs is the grouping predicate — the d-attribute subset of
 	// special interest (§3.1.1). Default: mtime, read and write volume
@@ -116,79 +120,61 @@ type Config struct {
 	VirtualScale float64
 }
 
+// engineConfig maps the public configuration onto the engine layer's.
+func (cfg Config) engineConfig() engine.Config {
+	return engine.Config{
+		Shards:              cfg.Shards,
+		Units:               cfg.Units,
+		Attrs:               cfg.Attrs,
+		Online:              cfg.Mode == OnLine,
+		AutoConfig:          cfg.AutoConfig,
+		AutoConfigThreshold: cfg.AutoConfigThreshold,
+		Tree: semtree.Config{
+			Attrs:         cfg.Attrs,
+			BaseThreshold: cfg.BaseThreshold,
+			MaxChildren:   cfg.MaxChildren,
+			MinChildren:   cfg.MinChildren,
+		},
+		Cluster: cluster.Config{
+			Versioning:          cfg.Versioning,
+			VersionRatio:        cfg.VersionRatio,
+			LazyUpdateThreshold: cfg.LazyUpdateThreshold,
+			Seed:                cfg.Seed,
+			VirtualScale:        cfg.VirtualScale,
+		},
+	}
+}
+
 // Store is a deployed SmartStore instance.
 //
-// A Store is safe for concurrent use: queries proceed under a shared
-// lock while mutations (Insert, InsertBatch, Delete, Modify, Flush)
-// are serialized under an exclusive lock. Within one deployment tree
-// the virtual-time accounting (event loop, RNG, lazy id cache) is
-// additionally serialized per cluster, so concurrent queries over
-// different attribute subsets — which auto-configuration routes to
-// different specialized trees — run in parallel end to end, while
-// queries sharing a tree interleave only their simulated phase.
+// A Store is a facade over the sharded engine (internal/engine): the
+// deployment is partitioned into Config.Shards independent shards, each
+// with its own semantic R-tree forest, cluster deployment, virtual-time
+// state and lock. A Store is safe for concurrent use — queries take
+// per-shard shared locks and fan out in parallel, mutations route to
+// their owning shard (multi-shard batches lock all target shards in a
+// deadlock-free total order), and operations on different shards never
+// contend on a lock. With Shards: 1 (the default) the engine executes
+// exactly the pre-sharding store's code path.
 type Store struct {
-	cfg      Config
-	norm     *metadata.Normalizer
-	primary  *cluster.Cluster
-	forest   *semtree.Forest
-	clusters map[*semtree.Tree]*cluster.Cluster
-
-	// mu keeps tree structure stable: readers share it, mutators hold
-	// it exclusively. qslot serializes each deployment's simulation
-	// machinery, which every query mutates (sim counters, home-unit
-	// RNG, lazy id cache); it is a capacity-1 channel semaphore rather
-	// than a mutex so waiters can abandon the wait on context
-	// cancellation (see Do). epoch counts committed mutations so result
-	// caches can invalidate on change (see Epoch).
-	mu    sync.RWMutex
-	qslot map[*cluster.Cluster]chan struct{}
-	epoch atomic.Uint64
+	cfg Config
+	eng *engine.Engine
 }
 
-// initLocks builds the per-deployment query slots; callers own s.
-func (s *Store) initLocks() {
-	s.qslot = make(map[*cluster.Cluster]chan struct{}, len(s.clusters))
-	for _, c := range s.clusters {
-		s.qslot[c] = make(chan struct{}, 1)
-	}
-}
-
-// runQuery serializes one deployment's virtual-time machinery around f.
-// The store-level read lock must already be held.
-func (s *Store) runQuery(c *cluster.Cluster, f func()) {
-	slot := s.qslot[c]
-	slot <- struct{}{}
-	defer func() { <-slot }()
-	f()
-}
-
-// runQueryCtx is runQuery with a cancellable wait: a context cancelled
-// while queued for the deployment slot — or observed cancelled once it
-// is acquired — returns ctx.Err() without running f.
-func (s *Store) runQueryCtx(ctx context.Context, c *cluster.Cluster, f func() error) error {
-	slot := s.qslot[c]
-	select {
-	case slot <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	defer func() { <-slot }()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return f()
-}
-
-// Epoch returns the store's mutation epoch. It increments on every
-// mutation that can change a query's answer — inserts, effectual
-// deletes, modifies, and flushes (no-ops leave it untouched); a cache
-// keyed on query content can pair each entry with the epoch observed
-// before computing it and treat any mismatch as invalidation.
-func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+// Epoch returns the store's composed mutation epoch: the sum of the
+// per-shard epochs, each of which increments on every mutation that can
+// change a query's answer — inserts, effectual deletes, modifies, and
+// flushes (no-ops leave it untouched). The sum is monotonic for any
+// observer, so a cache keyed on query content can pair each entry with
+// the epoch observed before computing it and treat any mismatch as
+// invalidation.
+func (s *Store) Epoch() uint64 { return s.eng.Epoch() }
 
 // QueryReport carries the accounting of one operation: virtual latency,
 // network messages, routing hops (groups beyond the first), and
-// version-chain work.
+// version-chain work. For operations fanned out across shards, latency
+// is the slowest shard (they run in parallel) while messages and
+// per-node work sum.
 type QueryReport struct {
 	Latency        float64 // seconds of virtual time
 	Messages       int64
@@ -198,18 +184,22 @@ type QueryReport struct {
 	VersionLatency float64
 }
 
-func fromResult(r cluster.Result) QueryReport {
+func fromEngineReport(r engine.Report) QueryReport {
 	return QueryReport{
-		Latency:        float64(r.Latency),
+		Latency:        r.Latency,
 		Messages:       r.Messages,
 		Hops:           r.Hops,
 		UnitsSearched:  r.UnitsSearched,
 		VersionChecked: r.VersionChecked,
-		VersionLatency: float64(r.VersionLatency),
+		VersionLatency: r.VersionLatency,
 	}
 }
 
-// Build constructs and deploys a SmartStore over the given corpus.
+// Build constructs and deploys a SmartStore over the given corpus. An
+// invalid configuration — fan-out bounds violating 2 ≤ m ≤ M/2, a shard
+// count exceeding the unit count — returns an error rather than
+// panicking, so configuration crossing a trust boundary (daemon flags)
+// cannot crash the process.
 func Build(files []*File, cfg Config) (*Store, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("smartstore: empty corpus")
@@ -220,222 +210,69 @@ func Build(files []*File, cfg Config) (*Store, error) {
 	if cfg.Units < 1 || cfg.Units > len(files) {
 		return nil, fmt.Errorf("smartstore: %d units invalid for %d files", cfg.Units, len(files))
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
 	if cfg.Attrs == nil {
 		cfg.Attrs = trace.DefaultQueryAttrs()
 	}
-
-	norm := &metadata.Normalizer{}
-	norm.Fit(files)
-
-	treeCfg := semtree.Config{
-		Attrs:         cfg.Attrs,
-		BaseThreshold: cfg.BaseThreshold,
-		MaxChildren:   cfg.MaxChildren,
-		MinChildren:   cfg.MinChildren,
+	eng, err := engine.Build(files, cfg.engineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("smartstore: %w", err)
 	}
-	clusterCfg := cluster.Config{
-		Versioning:          cfg.Versioning,
-		VersionRatio:        cfg.VersionRatio,
-		LazyUpdateThreshold: cfg.LazyUpdateThreshold,
-		Seed:                cfg.Seed,
-		VirtualScale:        cfg.VirtualScale,
-	}
-
-	s := &Store{cfg: cfg, norm: norm, clusters: map[*semtree.Tree]*cluster.Cluster{}}
-
-	units := semtree.PlaceSemantic(files, cfg.Units, norm, cfg.Attrs)
-	primaryTree := semtree.Build(units, norm, treeCfg)
-	s.primary = cluster.New(primaryTree, clusterCfg)
-	s.clusters[primaryTree] = s.primary
-
-	if cfg.AutoConfig {
-		s.forest = semtree.AutoConfigure(
-			semtree.PlaceSemantic(files, cfg.Units, norm, metadata.AllAttrs()),
-			norm, treeCfg, nil, cfg.AutoConfigThreshold)
-		for _, t := range s.forest.Trees() {
-			s.clusters[t] = cluster.New(t, clusterCfg)
-		}
-	}
-	s.initLocks()
-	return s, nil
+	return &Store{cfg: cfg, eng: eng}, nil
 }
 
-// clusterFor picks the deployment serving a query over the given
-// attributes: with auto-configuration, the forest member whose grouping
-// attributes match best; otherwise the primary tree.
-func (s *Store) clusterFor(attrs []Attr) *cluster.Cluster {
-	if s.forest == nil {
-		return s.primary
-	}
-	// The primary tree is preferred when its predicate matches exactly.
-	if sameAttrs(s.cfg.Attrs, attrs) {
-		return s.primary
-	}
-	return s.clusters[s.forest.SelectTree(attrs)]
-}
-
-func sameAttrs(a, b []Attr) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	set := map[Attr]bool{}
-	for _, x := range a {
-		set[x] = true
-	}
-	for _, x := range b {
-		if !set[x] {
-			return false
-		}
-	}
-	return true
-}
-
-// pointQuery runs a point query with the read lock already held.
-func (s *Store) pointQuery(filename string) ([]uint64, QueryReport) {
-	var ids []uint64
-	var res cluster.Result
-	s.runQuery(s.primary, func() {
-		ids, res = s.primary.Point(query.Point{Filename: filename})
-	})
-	return ids, fromResult(res)
-}
-
-// topKQuery runs a top-k query with the read lock already held.
-func (s *Store) topKQuery(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
-	q := query.NewTopK(attrs, point, k)
-	c := s.clusterFor(attrs)
-	var ids []uint64
-	var res cluster.Result
-	s.runQuery(c, func() {
-		if s.cfg.Mode == OnLine {
-			ids, res = c.TopKOnline(q)
-		} else {
-			ids, res = c.TopKOffline(q)
-		}
-	})
-	return ids, fromResult(res)
-}
-
-// Insert routes a new file's metadata into every deployed tree. Like
-// InsertBatch, it rejects a zero id or an id that is already stored —
-// the serving layer treats ids as unique, so every insert path
+// Insert routes a new file's metadata to its semantically placed shard.
+// Like InsertBatch, it rejects a zero id or an id that is already
+// stored — the serving layer treats ids as unique, so every insert path
 // enforces the invariant.
 func (s *Store) Insert(f *File) (QueryReport, error) {
 	return s.InsertBatch([]*File{f})
 }
 
-// InsertBatch inserts files under one exclusive critical section and
-// one epoch bump — the admission path for bulk loads, where taking the
-// write lock per record would let queries interleave mid-batch. Every
-// file must carry an id that is neither already stored nor repeated in
-// the batch; a violation rejects the whole batch before anything is
-// inserted (validation and insert share the critical section, so the
-// check cannot race another writer). The returned report aggregates
-// virtual latency and messages over the whole batch.
+// InsertBatch inserts files in one admission: the whole batch is
+// validated first (a violation rejects the batch before anything is
+// inserted; validation is serialized with every other insert's routing
+// phase, so the uniqueness check cannot race another writer), files
+// are routed to shards by semantic placement, and every target shard
+// is write-locked before any insert lands — so each shard, and any
+// snapshot (which locks all shards), observes the batch atomically. A
+// query fanning out across shards takes per-shard read locks
+// independently and therefore sees per-shard, not cross-shard, batch
+// atomicity. Per-shard sub-batches execute in parallel, and each
+// affected shard bumps its epoch once. The returned report aggregates
+// virtual latency (max across shards, summed within each shard's
+// sub-batch) and messages over the whole batch.
 func (s *Store) InsertBatch(files []*File) (QueryReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(files) == 0 {
-		return QueryReport{}, nil
+	rep, err := s.eng.InsertBatch(files)
+	if err != nil {
+		return QueryReport{}, fmt.Errorf("smartstore: %w", err)
 	}
-	seen := make(map[uint64]bool, len(files))
-	for _, f := range files {
-		if f.ID == 0 {
-			return QueryReport{}, fmt.Errorf("smartstore: insert without id (path %q)", f.Path)
-		}
-		if seen[f.ID] || s.primary.HasFile(f.ID) {
-			return QueryReport{}, fmt.Errorf("smartstore: duplicate file id %d", f.ID)
-		}
-		seen[f.ID] = true
-	}
-	defer s.epoch.Add(1)
-	var total QueryReport
-	for _, f := range files {
-		rep := s.insert(f)
-		total.Latency += rep.Latency
-		total.Messages += rep.Messages
-		total.Hops += rep.Hops
-		total.UnitsSearched += rep.UnitsSearched
-		total.VersionChecked += rep.VersionChecked
-		total.VersionLatency += rep.VersionLatency
-	}
-	return total, nil
+	return fromEngineReport(rep), nil
 }
 
-// insert routes one file with the write lock already held.
-func (s *Store) insert(f *File) QueryReport {
-	var rep QueryReport
-	for _, c := range s.clusters {
-		res := c.InsertFile(f)
-		if c == s.primary {
-			rep = fromResult(res)
-		}
-	}
-	return rep
-}
-
-// Delete removes a file by id, reporting whether it existed. The
-// epoch advances only when a file was actually removed — a no-op
-// delete must not invalidate query caches.
+// Delete removes a file by id, reporting whether it existed. The id →
+// shard index routes the delete directly to the owning shard; the
+// shard's epoch advances only when a file was actually removed — a
+// no-op delete must not invalidate query caches.
 func (s *Store) Delete(id uint64) (QueryReport, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var rep QueryReport
-	found := false
-	for _, c := range s.clusters {
-		res, ok := c.DeleteFile(id)
-		if c == s.primary {
-			rep = fromResult(res)
-			found = ok
-		}
-	}
-	if found {
-		s.epoch.Add(1)
-	}
-	return rep, found
+	rep, found := s.eng.Delete(id)
+	return fromEngineReport(rep), found
 }
 
-// Modify updates an existing file's attributes. The epoch advances
-// only when the file existed.
+// Modify updates an existing file's attributes on its owning shard. The
+// epoch advances only when the file existed.
 func (s *Store) Modify(f *File) (QueryReport, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var rep QueryReport
-	found := false
-	for _, c := range s.clusters {
-		res, ok := c.ModifyFile(f)
-		if c == s.primary {
-			rep = fromResult(res)
-			found = ok
-		}
-	}
-	if found {
-		s.epoch.Add(1)
-	}
-	return rep, found
+	rep, found := s.eng.Modify(f)
+	return fromEngineReport(rep), found
 }
 
-// Flush propagates all pending changes to replicas (lazy updates are
-// otherwise threshold-driven, §3.4). The epoch advances only when
-// something was pending — propagating nothing changes no query's
-// answer.
-func (s *Store) Flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	changed := false
-	for _, c := range s.clusters {
-		for _, g := range c.Tree.FirstLevelIndexUnits() {
-			if c.PendingCount(g) > 0 {
-				changed = true
-				break
-			}
-		}
-		c.PropagateAll()
-	}
-	if changed {
-		s.epoch.Add(1)
-	}
-}
+// Flush propagates all pending changes to replicas on every shard (lazy
+// updates are otherwise threshold-driven, §3.4). Each shard's epoch
+// advances only when that shard had something pending — propagating
+// nothing changes no query's answer.
+func (s *Store) Flush() { s.eng.Flush() }
 
 // Stats summarizes the deployment.
 type Stats struct {
@@ -443,27 +280,52 @@ type Stats struct {
 	IndexUnits        int
 	TreeHeight        int
 	Files             int
-	Trees             int // 1 + kept specialized trees
+	Trees             int // 1 + kept specialized trees, summed across shards
 	IndexBytesTotal   int
 	IndexBytesPerNode int
+	// Shards is the engine shard count; PerShard breaks the deployment
+	// down by shard.
+	Shards   int
+	PerShard []ShardStats
 }
 
-// Stats reports structural statistics of the store.
+// ShardStats is one shard's slice of the deployment.
+type ShardStats struct {
+	Shard      int
+	Units      int
+	IndexUnits int
+	TreeHeight int
+	Files      int
+	Trees      int
+	Epoch      uint64
+}
+
+// Stats reports structural statistics of the store, aggregated across
+// shards with a per-shard breakdown.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	storage, index := s.primary.Tree.CountNodes()
+	total, per := s.eng.Stats()
 	st := Stats{
-		Units:      storage,
-		IndexUnits: index,
-		TreeHeight: s.primary.Tree.Height(),
-		Files:      s.primary.Tree.TotalFiles(),
-		Trees:      len(s.clusters),
+		Units:             total.Units,
+		IndexUnits:        total.IndexUnits,
+		TreeHeight:        total.TreeHeight,
+		Files:             total.Files,
+		Trees:             total.Trees,
+		IndexBytesTotal:   total.IndexBytesTotal,
+		IndexBytesPerNode: total.IndexBytesPerNode,
+		Shards:            len(per),
+		PerShard:          make([]ShardStats, len(per)),
 	}
-	for _, c := range s.clusters {
-		st.IndexBytesTotal += c.Tree.SizeBytes()
+	for i, p := range per {
+		st.PerShard[i] = ShardStats{
+			Shard:      p.Shard,
+			Units:      p.Units,
+			IndexUnits: p.IndexUnits,
+			TreeHeight: p.TreeHeight,
+			Files:      p.Files,
+			Trees:      p.Trees,
+			Epoch:      p.Epoch,
+		}
 	}
-	st.IndexBytesPerNode = s.primary.IndexSizeBytes()
 	return st
 }
 
@@ -477,42 +339,25 @@ func GenerateTrace(name string, nFiles int, seed uint64) (*TraceSet, error) {
 	return spec.Generate(nFiles, seed), nil
 }
 
-// FileByID returns a copy of the stored file with the given id.
+// FileByID returns a copy of the stored file with the given id, routed
+// directly to its owning shard through the id index.
 func (s *Store) FileByID(id uint64) (File, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out File
-	ok := false
-	s.runQuery(s.primary, func() {
-		// The id index may be lazily built here — cluster-state
-		// mutation needing the same serialization as queries.
-		if f, found := s.primary.FileByID(id); found {
-			out = *f
-			ok = true
-		}
-	})
-	return out, ok
+	return s.eng.FileByID(id)
 }
 
 // MaxFileID returns the largest file id currently stored, or 0 for an
 // empty deployment — the base a serving layer allocates fresh ids from.
-// The maximum is maintained incrementally in the cluster's id index, so
-// repeated calls are O(1) rather than a full-corpus scan.
-func (s *Store) MaxFileID() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var max uint64
-	s.runQuery(s.primary, func() {
-		// The id index may be lazily built here — cluster-state
-		// mutation needing the same serialization as queries.
-		max = s.primary.MaxFileID()
-	})
-	return max
-}
+// The maximum is maintained incrementally alongside the engine's id →
+// shard index, so repeated calls are O(1) rather than a full-corpus
+// scan.
+func (s *Store) MaxFileID() uint64 { return s.eng.MaxFileID() }
 
 // Mode returns the store's configured default query execution path; a
 // Query whose Options.Mode is ModeDefault runs on it.
 func (s *Store) Mode() Mode { return s.cfg.Mode }
+
+// Shards returns the engine shard count.
+func (s *Store) Shards() int { return s.eng.Shards() }
 
 // ParseAttr resolves an attribute's short name ("size", "ctime",
 // "mtime", "atime", "read_bytes", "write_bytes", "access_freq") to its

@@ -30,6 +30,38 @@ func TestBuildErrors(t *testing.T) {
 	if _, err := smartstore.Build(set.Files, smartstore.Config{Units: 100}); err == nil {
 		t.Fatal("more units than files should error")
 	}
+	if _, err := smartstore.Build(set.Files, smartstore.Config{Units: 4, Shards: 8}); err == nil {
+		t.Fatal("more shards than units should error")
+	}
+}
+
+// Invalid fan-out bounds must surface as a Build error, not a panic out
+// of the tree layer — configuration can arrive from daemon flags.
+func TestBuildRejectsInvalidFanOut(t *testing.T) {
+	set, _ := smartstore.GenerateTrace("MSN", 200, 1)
+	bad := []smartstore.Config{
+		{Units: 10, MaxChildren: 10, MinChildren: 7},
+		{Units: 10, MaxChildren: 10, MinChildren: 1},
+		{Units: 10, MaxChildren: 3, MinChildren: 2},
+		{Units: 10, MaxChildren: -2},
+		{Units: 10, BaseThreshold: 1.5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("config %d: Build panicked: %v", i, r)
+				}
+			}()
+			if _, err := smartstore.Build(set.Files, cfg); err == nil {
+				t.Fatalf("config %d accepted: %+v", i, cfg)
+			}
+		}()
+	}
+	// The boundary values are legal and must still build.
+	if _, err := smartstore.Build(set.Files, smartstore.Config{Units: 10, MaxChildren: 4, MinChildren: 2}); err != nil {
+		t.Fatalf("legal fan-out rejected: %v", err)
+	}
 }
 
 func TestGenerateTraceUnknown(t *testing.T) {

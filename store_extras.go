@@ -1,82 +1,87 @@
 package smartstore
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/cluster"
-	"repro/internal/semtree"
+	"repro/internal/engine"
+	"repro/internal/query"
 	"repro/internal/snapshot"
 )
 
-// Save persists the store's primary deployment (partition, normalizer,
-// configuration) to w. A store restored with Load answers queries
-// identically. Specialized auto-configuration trees are rebuilt on
-// load, not persisted.
+// Save persists the store's deployment — every shard's partition, the
+// shard assignment, the normalizer, and the construction configuration
+// — to w. The capture takes every shard's read lock (in the engine's
+// deadlock-free total order) before touching any shard, so a snapshot
+// taken during a concurrent InsertBatch is never torn: it observes
+// either all of a batch or none of it. A store restored with Load
+// answers queries identically. Specialized auto-configuration trees are
+// not persisted.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return snapshot.Capture(s.primary.Tree).Write(w)
+	return s.eng.Snapshot().Write(w)
 }
 
 // Load restores a store previously written with Save. The cluster
-// deployment (server mapping, replicas) is regenerated from cfg's seed;
-// cfg's structural fields (Units, Attrs, fan-out, threshold) are taken
-// from the snapshot and ignored in cfg.
+// deployments (server mapping, replicas) are regenerated from cfg's
+// seed; cfg's structural fields (Units, Attrs, Shards, fan-out,
+// threshold) are taken from the snapshot and ignored in cfg. Version-1
+// snapshots (written before sharding) load as a one-shard deployment.
 func Load(r io.Reader, cfg Config) (*Store, error) {
 	snap, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	tree, err := snap.Restore()
+	trees, err := snap.RestoreShards()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.VersionRatio < 0 || cfg.LazyUpdateThreshold < 0 {
 		return nil, fmt.Errorf("smartstore: invalid config")
 	}
-	cl := cluster.New(tree, cluster.Config{
-		Versioning:          cfg.Versioning,
-		VersionRatio:        cfg.VersionRatio,
-		LazyUpdateThreshold: cfg.LazyUpdateThreshold,
-		Seed:                cfg.Seed,
-		VirtualScale:        cfg.VirtualScale,
-	})
-	st := &Store{
-		cfg:      cfg,
-		norm:     tree.Norm,
-		primary:  cl,
-		clusters: map[*semtree.Tree]*cluster.Cluster{tree: cl},
+	cfg.Shards = len(trees)
+	cfg.Attrs = trees[0].Attrs
+	eng, err := engine.Restore(trees, cfg.engineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("smartstore: %w", err)
 	}
-	st.cfg.Attrs = tree.Attrs
-	st.initLocks()
-	return st, nil
+	return &Store{cfg: cfg, eng: eng}, nil
 }
 
-// anchorFor resolves a path to its stored file record via a point query
-// and the cluster's id index. The read lock must already be held.
+// anchorFor resolves a path to its stored file record via a fanned-out
+// point query and the engine's id index.
 func (s *Store) anchorFor(path string) *File {
-	matches, _ := s.pointQuery(path)
-	if len(matches) == 0 {
+	ans, err := s.eng.Point(context.Background(), query.Point{Filename: path}, engine.QueryOpts{})
+	if err != nil || len(ans.IDs) == 0 {
 		return nil
 	}
-	var anchor *File
-	s.runQuery(s.primary, func() {
-		// FileByID may lazily build the id index — a mutation of
-		// cluster state that needs the same serialization as queries.
-		anchor, _ = s.primary.FileByID(matches[0])
-	})
-	return anchor
+	if f, ok := s.eng.FileByID(ans.IDs[0]); ok {
+		return &f
+	}
+	return nil
+}
+
+// topKIDs runs a top-k query over the engine, returning ids and the
+// aggregated report.
+func (s *Store) topKIDs(attrs []Attr, point []float64, k int) ([]uint64, QueryReport) {
+	tq := query.NewTopK(attrs, point, k)
+	ans, err := s.eng.TopK(context.Background(), tq,
+		engine.QueryOpts{Online: s.cfg.Mode == OnLine})
+	if err != nil {
+		return nil, QueryReport{}
+	}
+	return ans.IDs, fromEngineReport(ans.Report)
 }
 
 // Correlated returns the k files most semantically correlated with the
 // file at the given path — the semantic-prefetching primitive of §1.1
 // ("when a file is visited, we can execute a top-k query to find its k
 // most correlated files to be prefetched"). It returns ok=false when
-// the path is unknown.
+// the path is unknown. Anchor resolution and the follow-up top-k run
+// as separate engine admissions, so a mutation landing between them is
+// observed (the pre-sharding store held one store-wide read lock
+// across both); prefetch hints tolerate that staleness by nature.
 func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	anchor := s.anchorFor(path)
 	if anchor == nil {
 		return nil, QueryReport{}, false
@@ -87,7 +92,7 @@ func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, o
 		point[i] = anchor.Attrs[a]
 	}
 	// k+1 then drop the anchor itself.
-	got, r := s.topKQuery(attrs, point, k+1)
+	got, r := s.topKIDs(attrs, point, k+1)
 	out := make([]uint64, 0, k)
 	for _, id := range got {
 		if id != anchor.ID && len(out) < k {
@@ -102,15 +107,13 @@ func (s *Store) Correlated(path string, k int) (ids []uint64, rep QueryReport, o
 // the deduplication narrowing of §1.1. The caller confirms true
 // duplicates by content comparison.
 func (s *Store) DuplicateCandidates(path string, k int) (ids []uint64, rep QueryReport, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	anchor := s.anchorFor(path)
 	if anchor == nil {
 		return nil, QueryReport{}, false
 	}
 	attrs := []Attr{AttrSize, AttrCTime}
 	point := []float64{anchor.Attrs[AttrSize], anchor.Attrs[AttrCTime]}
-	got, r := s.topKQuery(attrs, point, k+1)
+	got, r := s.topKIDs(attrs, point, k+1)
 	out := make([]uint64, 0, k)
 	for _, id := range got {
 		if id != anchor.ID && len(out) < k {
