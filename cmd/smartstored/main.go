@@ -1,14 +1,28 @@
 // Command smartstored is the SmartStore metadata daemon: it deploys a
-// store — bootstrapped from a synthesized trace or restored from a
-// snapshot — and serves the HTTP/JSON metadata API of internal/server.
+// store — bootstrapped from a synthesized trace, restored from a
+// snapshot, or recovered from a durable data dir — and serves the
+// HTTP/JSON metadata API of internal/server.
 //
 // Usage:
 //
 //	smartstored -addr :7070 -trace MSN -files 20000
 //	smartstored -addr :7070 -load store.snap -versioning
 //	smartstored -addr :7070 -trace HP -cache 8192 -workers 16
+//	smartstored -addr :7070 -shards 4 -data-dir /var/lib/smartstore
 //
-// Probe it with curl (see DESIGN.md §5 for the full API):
+// With -data-dir the store is durable: each engine shard appends every
+// mutation to its own write-ahead log before applying it (-fsync picks
+// the always/interval/never sync policy), a background loop checkpoints
+// (snapshot + WAL truncation) every -checkpoint-every, and a daemon
+// restarted over the same data dir recovers the last acknowledged
+// pre-crash state — snapshot load plus parallel per-shard WAL replay.
+// Defaults worth knowing: -shards 1 (unsharded; must not exceed
+// -units, default 60), -max-children 0 → fan-out M=10, -min-children 0
+// → m=2 (validated as 2 ≤ m ≤ M/2, a violation is a startup error, not
+// a panic), -fsync always, -checkpoint-every 5m.
+//
+// Probe it with curl (see DESIGN.md §5 for the full API and §7 for the
+// durability design):
 //
 //	curl -s localhost:7070/v1/stats
 //	curl -s -X POST localhost:7070/v1/query/range \
@@ -35,32 +49,39 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	traceName := flag.String("trace", "MSN", "trace to synthesize: HP, MSN or EECS")
 	files := flag.Int("files", 20000, "sample population for trace bootstrap")
-	units := flag.Int("units", 60, "storage units")
-	shards := flag.Int("shards", 1, "independent engine shards (1 = unsharded; must not exceed units)")
+	units := flag.Int("units", 60, "storage units (metadata servers), summed across shards")
+	shards := flag.Int("shards", 1, "independent engine shards (default 1 = unsharded; must not exceed -units)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	versioning := flag.Bool("versioning", false, "enable consistency versioning")
 	online := flag.Bool("online", false, "use the on-line multicast query path")
 	autoconfig := flag.Bool("autoconfig", false, "build specialized semantic R-trees per attribute subset")
-	maxChildren := flag.Int("max-children", 0, "semantic R-tree max fan-out M (0 = default 10)")
-	minChildren := flag.Int("min-children", 0, "semantic R-tree min fan-out m (0 = default 2; need 2 ≤ m ≤ M/2)")
+	maxChildren := flag.Int("max-children", 0, "semantic R-tree max fan-out M (default 0 = 10)")
+	minChildren := flag.Int("min-children", 0, "semantic R-tree min fan-out m (default 0 = 2; validated 2 ≤ m ≤ M/2)")
 	cacheEntries := flag.Int("cache", 4096, "query-result cache entries (negative disables)")
 	workers := flag.Int("workers", 0, "max concurrently executing requests (0 = 2×GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 8×workers)")
+	dataDir := flag.String("data-dir", "", "durable data dir: per-shard write-ahead logs + checkpoint snapshots; restart recovers the pre-crash store")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (fsync before every ack), interval (periodic), never (OS decides)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "periodic snapshot+WAL-truncation period with -data-dir (0 disables)")
 	flag.Parse()
 
 	store, desc, err := bootstrap(bootstrapOpts{
-		loadPath:    *loadPath,
-		trace:       *traceName,
-		files:       *files,
-		units:       *units,
-		shards:      *shards,
-		seed:        *seed,
-		versioning:  *versioning,
-		online:      *online,
-		autoconfig:  *autoconfig,
-		maxChildren: *maxChildren,
-		minChildren: *minChildren,
+		loadPath:      *loadPath,
+		trace:         *traceName,
+		files:         *files,
+		units:         *units,
+		shards:        *shards,
+		seed:          *seed,
+		versioning:    *versioning,
+		online:        *online,
+		autoconfig:    *autoconfig,
+		maxChildren:   *maxChildren,
+		minChildren:   *minChildren,
+		dataDir:       *dataDir,
+		fsync:         *fsyncPolicy,
+		fsyncInterval: *fsyncInterval,
 	})
 	if err != nil {
 		log.Fatalf("smartstored: %v", err)
@@ -83,6 +104,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodic checkpoint: fold the WAL tails into the snapshot and
+	// truncate the logs, bounding both recovery replay time and log
+	// growth. A failed checkpoint is an operational warning, not fatal
+	// — the WAL still holds everything and the next tick retries. The
+	// goroutine is joined before Close so a tick racing shutdown can
+	// never checkpoint against closed logs.
+	var ckptDone chan struct{}
+	if *dataDir != "" && *checkpointEvery > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(*checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := store.Checkpoint(); err != nil {
+						log.Printf("smartstored: checkpoint: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("smartstored: serving on %s", *addr)
@@ -101,6 +148,14 @@ func main() {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("smartstored: shutdown: %v", err)
 		}
+		if ckptDone != nil {
+			<-ckptDone // ctx is done; joins any in-flight checkpoint
+		}
+		// Final checkpoint + log close: a cleanly stopped daemon
+		// restarts with an empty WAL tail to replay.
+		if err := store.Close(); err != nil {
+			log.Printf("smartstored: close: %v", err)
+		}
 	}
 }
 
@@ -115,23 +170,51 @@ type bootstrapOpts struct {
 	versioning, online       bool
 	autoconfig               bool
 	maxChildren, minChildren int
+	dataDir                  string
+	fsync                    string
+	fsyncInterval            time.Duration
 }
 
-// bootstrap builds the store from a snapshot or a synthesized trace.
+// bootstrap builds the store: recovered from an initialized data dir,
+// restored from a snapshot file, or synthesized from a trace. With a
+// data dir, bootstrap sources initialize it (refusing one that already
+// holds a deployment) and recovery replays its WAL tails.
 func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 	mode := smartstore.OffLine
 	if o.online {
 		mode = smartstore.OnLine
 	}
+	durability := smartstore.DurabilityAlways
+	if o.dataDir != "" {
+		var err error
+		durability, err = smartstore.ParseDurability(o.fsync)
+		if err != nil {
+			return nil, "", err
+		}
+	}
 	cfg := smartstore.Config{
-		Units:       o.units,
-		Shards:      o.shards,
-		Seed:        o.seed,
-		Versioning:  o.versioning,
-		Mode:        mode,
-		AutoConfig:  o.autoconfig,
-		MaxChildren: o.maxChildren,
-		MinChildren: o.minChildren,
+		Units:        o.units,
+		Shards:       o.shards,
+		Seed:         o.seed,
+		Versioning:   o.versioning,
+		Mode:         mode,
+		AutoConfig:   o.autoconfig,
+		MaxChildren:  o.maxChildren,
+		MinChildren:  o.minChildren,
+		DataDir:      o.dataDir,
+		Durability:   durability,
+		SyncInterval: o.fsyncInterval,
+	}
+
+	if o.dataDir != "" && smartstore.DataDirInitialized(o.dataDir) {
+		if o.loadPath != "" {
+			return nil, "", fmt.Errorf("data dir %s is already initialized; -load would orphan its state (recover without -load, or point -data-dir somewhere fresh)", o.dataDir)
+		}
+		store, err := smartstore.Open(cfg)
+		if err != nil {
+			return nil, "", fmt.Errorf("recovering %s: %w", o.dataDir, err)
+		}
+		return store, "recovered from " + o.dataDir, nil
 	}
 
 	if o.loadPath != "" {

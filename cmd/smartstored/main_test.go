@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	smartstore "repro"
 )
 
 // The daemon's store configuration crosses a trust boundary: every
@@ -57,6 +60,68 @@ func TestBootstrapRejectsInvalidFanOut(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// The daemon's durable boot sequence: a fresh -data-dir bootstrap
+// initializes the dir, a crashed daemon (no Close) restarted over the
+// same dir recovers every acknowledged mutation, and combining -load
+// with an initialized dir is refused rather than orphaning its state.
+func TestBootstrapRecoversDataDir(t *testing.T) {
+	dir := t.TempDir()
+	opts := bootstrapOpts{trace: "MSN", files: 600, units: 12, shards: 4, seed: 1,
+		dataDir: dir, fsync: "never"}
+	store, desc, err := bootstrap(opts)
+	if err != nil {
+		t.Fatalf("durable bootstrap: %v", err)
+	}
+	if !strings.Contains(desc, "trace") {
+		t.Fatalf("desc %q, want trace bootstrap", desc)
+	}
+	base := store.MaxFileID()
+	batch := make([]*smartstore.File, 5)
+	for j := range batch {
+		f, ok := store.FileByID(base - uint64(j*31) - 1)
+		if !ok {
+			t.Fatalf("seed file %d missing", base-uint64(j*31)-1)
+		}
+		batch[j] = &smartstore.File{ID: base + uint64(j) + 1,
+			Path: fmt.Sprintf("/dd/f%d", j), Attrs: f.Attrs}
+	}
+	if _, err := store.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := store.Stats().Files
+	wantEpoch := store.Epoch()
+
+	// Crash (no Close) and restart over the same dir.
+	store2, desc2, err := bootstrap(opts)
+	if err != nil {
+		t.Fatalf("recovery bootstrap: %v", err)
+	}
+	defer store2.Close()
+	if !strings.Contains(desc2, "recovered") {
+		t.Fatalf("desc %q, want recovery", desc2)
+	}
+	if got := store2.Stats().Files; got != want {
+		t.Fatalf("recovered files = %d, want %d", got, want)
+	}
+	if got := store2.Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch = %d, want %d", got, wantEpoch)
+	}
+
+	loadOpts := opts
+	loadOpts.loadPath = "whatever.snap"
+	if _, _, err := bootstrap(loadOpts); err == nil || !strings.Contains(err.Error(), "initialized") {
+		t.Fatalf("-load over an initialized data dir: err = %v, want refusal", err)
+	}
+}
+
+// An invalid -fsync spelling is an operator error, not a panic.
+func TestBootstrapRejectsBadFsyncPolicy(t *testing.T) {
+	if _, _, err := bootstrap(bootstrapOpts{trace: "MSN", files: 300, units: 6, shards: 1, seed: 1,
+		dataDir: t.TempDir(), fsync: "mostly"}); err == nil {
+		t.Fatal("bootstrap accepted -fsync mostly")
 	}
 }
 

@@ -1,0 +1,349 @@
+package smartstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// Durability selects when write-ahead-log appends reach stable storage
+// on a durable store (Config.DataDir set).
+type Durability int
+
+const (
+	// DurabilityAlways fsyncs every WAL append before the mutation is
+	// acknowledged — the default, and the only policy that survives
+	// power loss with zero acknowledged-mutation loss.
+	DurabilityAlways Durability = iota
+	// DurabilityInterval batches fsyncs on a background timer
+	// (Config.SyncInterval): full throughput, bounded loss window on
+	// power failure, zero loss on a process crash.
+	DurabilityInterval
+	// DurabilityNever leaves flushing entirely to the OS page cache:
+	// zero loss on a process crash, no guarantee on power failure.
+	DurabilityNever
+)
+
+// String returns the policy's flag spelling.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityAlways:
+		return "always"
+	case DurabilityInterval:
+		return "interval"
+	case DurabilityNever:
+		return "never"
+	}
+	return fmt.Sprintf("durability(%d)", int(d))
+}
+
+// ParseDurability resolves a policy's flag spelling ("always",
+// "interval", "never") — the inverse of String, shared with the
+// daemon's -fsync flag.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "always":
+		return DurabilityAlways, nil
+	case "interval":
+		return DurabilityInterval, nil
+	case "never":
+		return DurabilityNever, nil
+	}
+	return 0, fmt.Errorf("smartstore: unknown durability %q (want always, interval or never)", s)
+}
+
+func (d Durability) syncPolicy() wal.SyncPolicy {
+	switch d {
+	case DurabilityInterval:
+		return wal.SyncInterval
+	case DurabilityNever:
+		return wal.SyncNever
+	}
+	return wal.SyncAlways
+}
+
+// snapshotFileName is the recovery-base snapshot inside a data dir;
+// shard WALs sit beside it.
+const snapshotFileName = "snapshot.snap"
+
+func snapshotPath(dir string) string { return filepath.Join(dir, snapshotFileName) }
+
+func walFileName(shard int) string { return fmt.Sprintf("shard-%04d.wal", shard) }
+
+// DataDirInitialized reports whether dir already holds a durable
+// store's recovery base — the operator-facing probe the daemon uses to
+// pick Open (recover) over Build (bootstrap).
+func DataDirInitialized(dir string) bool {
+	_, err := os.Stat(snapshotPath(dir))
+	return err == nil
+}
+
+// initDataDir makes a freshly built (or freshly loaded) store durable:
+// it creates the data dir, opens one empty WAL per shard, and writes
+// the initial checkpoint that recovery will replay WAL tails against.
+// A data dir that already holds a snapshot or logged records is
+// refused — re-initializing it would silently orphan the previous
+// deployment's state; recover it with Open instead.
+func (s *Store) initDataDir() error {
+	dir := s.cfg.DataDir
+	if DataDirInitialized(dir) {
+		return fmt.Errorf("smartstore: data dir %s already initialized (recover it with Open)", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("smartstore: %w", err)
+	}
+	sweepStaleTemp(dir)
+	logs, tails, err := openLogs(dir, s.eng.Shards(), s.cfg.Durability.syncPolicy())
+	if err != nil {
+		return err
+	}
+	for i, tail := range tails {
+		if len(tail) > 0 {
+			closeLogs(logs)
+			return fmt.Errorf("smartstore: data dir %s holds %d logged records for shard %d (recover it with Open)",
+				dir, len(tail), i)
+		}
+	}
+	if err := s.eng.AttachWAL(logs); err != nil {
+		closeLogs(logs)
+		return fmt.Errorf("smartstore: %w", err)
+	}
+	s.logs = logs
+	if err := s.Checkpoint(); err != nil {
+		closeLogs(logs)
+		return err
+	}
+	s.startSyncLoop()
+	return nil
+}
+
+// Open recovers a durable store from cfg.DataDir: the checkpoint
+// snapshot is loaded, each shard's WAL tail — every mutation
+// acknowledged since that checkpoint — is replayed independently and
+// in parallel past the snapshot's per-shard epoch truncation points,
+// and a fresh checkpoint is written before the store is returned. No
+// acknowledged mutation is lost across a crash, torn final records are
+// discarded, and a multi-shard insert batch that did not reach every
+// target's log (never acknowledged) is dropped atomically.
+//
+// Like Load, cfg's structural fields (Units, Attrs, Shards, fan-out,
+// threshold) come from the snapshot; cfg supplies the deployment knobs
+// (Seed, Versioning, Mode, ...) and the durability policy.
+func Open(cfg Config) (*Store, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("smartstore: Open needs Config.DataDir")
+	}
+	sweepStaleTemp(cfg.DataDir)
+	f, err := os.Open(snapshotPath(cfg.DataDir))
+	if err != nil {
+		return nil, fmt.Errorf("smartstore: data dir %s has no snapshot (initialize it with Build): %w",
+			cfg.DataDir, err)
+	}
+	snap, err := snapshot.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	s, err := restoreFromSnapshot(snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	epochs := snap.ShardEpochs()
+	if err := s.eng.SetShardEpochs(epochs); err != nil {
+		return nil, fmt.Errorf("smartstore: %w", err)
+	}
+	logs, tails, err := openLogs(cfg.DataDir, s.eng.Shards(), cfg.Durability.syncPolicy())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.eng.Recover(tails, epochs); err != nil {
+		closeLogs(logs)
+		return nil, fmt.Errorf("smartstore: %w", err)
+	}
+	if err := s.eng.AttachWAL(logs); err != nil {
+		closeLogs(logs)
+		return nil, fmt.Errorf("smartstore: %w", err)
+	}
+	s.logs = logs
+	// Checkpoint the recovered state immediately when the logs held
+	// anything: the replayed tail folds into the snapshot and the logs
+	// restart empty, so this boot's batch ids cannot collide with
+	// records from the last one. After a clean shutdown every tail is
+	// empty — the snapshot is already current and no batch id can
+	// linger, so the boot skips the redundant full-store write.
+	for _, tail := range tails {
+		if len(tail) > 0 {
+			if err := s.Checkpoint(); err != nil {
+				closeLogs(logs)
+				return nil, err
+			}
+			break
+		}
+	}
+	s.startSyncLoop()
+	return s, nil
+}
+
+// openLogs opens (creating if absent) one WAL per shard under dir,
+// returning the logs and their scanned tails.
+func openLogs(dir string, shards int, policy wal.SyncPolicy) ([]*wal.Log, [][]wal.Record, error) {
+	logs := make([]*wal.Log, shards)
+	tails := make([][]wal.Record, shards)
+	for i := 0; i < shards; i++ {
+		l, tail, err := wal.Open(filepath.Join(dir, walFileName(i)), i, policy)
+		if err != nil {
+			closeLogs(logs[:i])
+			return nil, nil, fmt.Errorf("smartstore: %w", err)
+		}
+		logs[i] = l
+		tails[i] = tail
+	}
+	return logs, tails, nil
+}
+
+func closeLogs(logs []*wal.Log) {
+	for _, l := range logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// Checkpoint atomically persists the store's current state to the data
+// dir and truncates every shard's WAL: the snapshot is written to a
+// temporary file, fsynced, renamed over the previous one, and only
+// then are the logs emptied — a crash anywhere in between recovers
+// from whichever snapshot the rename left in place, with leftover log
+// records skipped via the snapshot's per-shard epoch truncation
+// points. All shard read locks are held in the engine's total lock
+// order for the capture, so a checkpoint racing a multi-shard batch
+// observes all of it or none of it.
+func (s *Store) Checkpoint() error {
+	if s.cfg.DataDir == "" {
+		return fmt.Errorf("smartstore: Checkpoint needs Config.DataDir")
+	}
+	return s.eng.Checkpoint(func(snap *snapshot.Snapshot) error {
+		return writeSnapshotAtomic(s.cfg.DataDir, snap)
+	})
+}
+
+// sweepStaleTemp removes snapshot temp files orphaned by a crash
+// mid-checkpoint — the rename never happened, so they are garbage that
+// would otherwise accumulate a full store's size per crash.
+func sweepStaleTemp(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, snapshotFileName+".tmp*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// writeSnapshotAtomic lands a snapshot with the standard
+// write-tmp/fsync/rename/fsync-dir sequence, so the data dir always
+// holds exactly one complete snapshot.
+func writeSnapshotAtomic(dir string, snap *snapshot.Snapshot) error {
+	tmp, err := os.CreateTemp(dir, snapshotFileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("smartstore: %w", err)
+	}
+	if err := snap.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("smartstore: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("smartstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), snapshotPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("smartstore: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync pins the rename; best-effort — some
+		// platforms refuse to sync directories.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// startSyncLoop runs the background fsync ticker of
+// DurabilityInterval.
+func (s *Store) startSyncLoop() {
+	if s.cfg.Durability != DurabilityInterval {
+		return
+	}
+	interval := s.cfg.SyncInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s.syncStop = make(chan struct{})
+	s.syncDone = make(chan struct{})
+	go func() {
+		defer close(s.syncDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				for _, l := range s.logs {
+					_ = l.Sync() // a failed periodic sync retries next tick
+				}
+			case <-s.syncStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close shuts a durable store down cleanly: the background fsync loop
+// stops, a final checkpoint folds the WAL tails into the snapshot, and
+// the logs are closed. Close is idempotent and a no-op on an in-memory
+// store. Mutating a closed durable store fails at the WAL. To simulate
+// a crash (e.g. in recovery tests), drop the store without calling
+// Close.
+func (s *Store) Close() error {
+	if s.logs == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		if s.syncStop != nil {
+			close(s.syncStop)
+			<-s.syncDone
+		}
+		s.closeErr = s.Checkpoint()
+		for _, l := range s.logs {
+			if err := l.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// WALSizes returns each shard's current write-ahead-log length in
+// bytes (nil on an in-memory store) — an operational signal for
+// checkpoint scheduling.
+func (s *Store) WALSizes() []int64 {
+	if s.logs == nil {
+		return nil
+	}
+	out := make([]int64, len(s.logs))
+	for i, l := range s.logs {
+		out[i] = l.Size()
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metadata"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// durable reports whether the engine has a write-ahead log attached.
+// All shards attach together, so probing the first suffices.
+func (e *Engine) durable() bool { return e.shards[0].log != nil }
+
+// AttachWAL wires one write-ahead log per shard into the engine. From
+// this point every mutation follows the log-then-apply path. Attach
+// happens before the engine is shared across goroutines (during Build
+// or Open), so no lock is needed.
+func (e *Engine) AttachWAL(logs []*wal.Log) error {
+	if len(logs) != len(e.shards) {
+		return fmt.Errorf("engine: %d WAL logs for %d shards", len(logs), len(e.shards))
+	}
+	for i, s := range e.shards {
+		s.log = logs[i]
+	}
+	return nil
+}
+
+// SetShardEpochs restores per-shard mutation epochs from a snapshot, so
+// a recovered deployment resumes its pre-crash epoch trajectory rather
+// than restarting at zero. Call before the engine is shared.
+func (e *Engine) SetShardEpochs(epochs []uint64) error {
+	if len(epochs) != len(e.shards) {
+		return fmt.Errorf("engine: %d epochs for %d shards", len(epochs), len(e.shards))
+	}
+	for i, s := range e.shards {
+		s.epoch.Store(epochs[i])
+	}
+	return nil
+}
+
+// Recover replays per-shard WAL tails against a freshly restored
+// engine, bringing it to the last acknowledged pre-crash state. base
+// holds each shard's snapshot epoch (the truncation point): records at
+// or below it are already in the snapshot — left over from a crash
+// between a snapshot rename and the log truncation — and are skipped.
+//
+// A multi-shard batch record is applied only when every shard in its
+// declared target set logged it past its own truncation point; a batch
+// missing anywhere was never acknowledged (acknowledgement follows the
+// last target's append), so dropping it everywhere preserves the
+// engine's atomic-batch guarantee. Shards replay their surviving
+// records independently and in parallel — the same no-shared-state
+// property the live write path has.
+//
+// Recover returns the number of records applied. Call before the
+// engine is shared, and checkpoint afterwards so batch ids restarting
+// from zero cannot collide with ids still in a log.
+func (e *Engine) Recover(tails [][]wal.Record, base []uint64) (int, error) {
+	if len(tails) != len(e.shards) {
+		return 0, fmt.Errorf("engine: %d WAL tails for %d shards", len(tails), len(e.shards))
+	}
+	if len(base) != len(e.shards) {
+		return 0, fmt.Errorf("engine: %d snapshot epochs for %d shards", len(base), len(e.shards))
+	}
+
+	// Pass 1: drop records the snapshot already covers, then work out
+	// which multi-shard batches reached every declared target.
+	fresh := make([][]wal.Record, len(tails))
+	logged := map[uint64]map[int]bool{} // batch id → shards that logged it
+	targets := map[uint64][]int{}       // batch id → declared target set
+	for i, tail := range tails {
+		for _, rec := range tail {
+			if rec.Epoch <= base[i] {
+				continue
+			}
+			fresh[i] = append(fresh[i], rec)
+			if rec.BatchID != 0 {
+				if logged[rec.BatchID] == nil {
+					logged[rec.BatchID] = map[int]bool{}
+				}
+				logged[rec.BatchID][i] = true
+				targets[rec.BatchID] = rec.Targets
+			}
+		}
+	}
+	complete := map[uint64]bool{}
+	for id, want := range targets {
+		ok := len(want) > 0
+		for _, t := range want {
+			if t < 0 || t >= len(e.shards) || !logged[id][t] {
+				ok = false
+				break
+			}
+		}
+		complete[id] = ok
+	}
+
+	// Pass 2: replay each shard's surviving records in log order, all
+	// shards in parallel. Inserts restore the exact placement the log
+	// recorded; the shared assignment index is the only cross-shard
+	// state and is updated under its own lock.
+	applied := make([]int, len(e.shards))
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := e.shards[i]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, rec := range fresh[i] {
+				if rec.BatchID != 0 && !complete[rec.BatchID] {
+					continue
+				}
+				switch rec.Op {
+				case wal.OpInsert:
+					files := make([]*metadata.File, len(rec.Files))
+					for j := range rec.Files {
+						files[j] = &rec.Files[j]
+					}
+					s.insertFilesLocked(files)
+					e.assignMu.Lock()
+					for _, f := range files {
+						e.assign[f.ID] = i
+						if f.ID > e.maxID {
+							e.maxID = f.ID
+						}
+					}
+					e.assignMu.Unlock()
+				case wal.OpDelete:
+					if _, found := s.deleteLocked(rec.ID); !found {
+						continue // replayed no-op delete: no epoch move
+					}
+					e.assignMu.Lock()
+					delete(e.assign, rec.ID)
+					if rec.ID == e.maxID {
+						e.recomputeMaxLocked()
+					}
+					e.assignMu.Unlock()
+				case wal.OpModify:
+					if _, found := s.modifyLocked(&rec.Files[0]); !found {
+						continue
+					}
+				case wal.OpFlush:
+					// Replay the propagation at the same point in the
+					// mutation order, so replica state and epoch evolve
+					// exactly as they did before the crash.
+					for _, c := range s.clusters {
+						c.PropagateAll()
+					}
+				}
+				applied[i]++
+				// The record's epoch is the shard epoch after the
+				// original apply; adopting it replays the epoch
+				// trajectory along with the data.
+				if rec.Epoch > s.epoch.Load() {
+					s.epoch.Store(rec.Epoch)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range applied {
+		total += n
+	}
+	return total, nil
+}
+
+// Checkpoint atomically snapshots the engine and truncates every
+// shard's WAL. All shard read locks are taken in the engine's
+// ascending lock order (the same total order Save and multi-shard
+// batches use), the capture is handed to write — which must make it
+// durable before returning — and only then is each log truncated. A
+// crash after the snapshot lands but before (or during) truncation is
+// safe: leftover records carry epochs at or below the snapshot's
+// truncation points and are skipped on recovery.
+func (e *Engine) Checkpoint(write func(*snapshot.Snapshot) error) error {
+	for _, s := range e.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for _, s := range e.shards {
+			s.mu.RUnlock()
+		}
+	}()
+	if err := write(e.snapshotLocked()); err != nil {
+		return err
+	}
+	for _, s := range e.shards {
+		if s.log == nil {
+			continue
+		}
+		if err := s.log.Truncate(); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", s.id, err)
+		}
+	}
+	return nil
+}

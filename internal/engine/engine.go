@@ -18,17 +18,31 @@
 // parallel) and summed message/work counts. A single-shard engine
 // executes exactly the original store's code path — no partitioning, no
 // merging — so Shards=1 reproduces the unsharded behaviour bit for bit.
+//
+// Durability is per shard: with a write-ahead log attached (AttachWAL),
+// every mutation follows the log-then-apply path under the shard's
+// write lock — the record is on disk before the change is visible, and
+// shards never contend on a shared log. A multi-shard insert batch is
+// logged to every target shard (under the same ascending lock order
+// Save uses) with a shared batch id before any shard applies, so
+// recovery can drop a batch that did not reach every target — the
+// atomic-batch guarantee survives a crash. Checkpoint snapshots all
+// shards and truncates the logs; Recover replays per-shard tails,
+// independently and in parallel, past the snapshot's per-shard epoch
+// truncation points. See internal/wal and DESIGN.md §7.
 package engine
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/metadata"
 	"repro/internal/semtree"
 	"repro/internal/snapshot"
+	"repro/internal/wal"
 )
 
 // Config parameterizes Build and Restore.
@@ -84,6 +98,13 @@ type Engine struct {
 	assign   map[uint64]int
 	maxID    uint64
 	placeMu  sync.Mutex
+
+	// batchSeq numbers multi-shard insert batches within this process
+	// so their per-shard WAL records share a batch id. Recovery
+	// checkpoints (snapshot + truncate) before the engine serves, so
+	// ids restarting from zero can never collide with ids still in a
+	// log. Zero is reserved for single-shard records.
+	batchSeq atomic.Uint64
 }
 
 // seedFor derives shard i's deterministic cluster seed. Shard 0 keeps
@@ -339,6 +360,37 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 		}
 	}()
 
+	// Durability phase: with every target write-locked, append the
+	// batch record to every target shard's WAL before any shard applies
+	// anything. A batch spanning shards carries a shared batch id and
+	// the full target set, so recovery can drop a batch that did not
+	// reach every target's log (it was never acknowledged) — the
+	// atomic-batch guarantee survives a crash. An append failure
+	// rejects the whole batch before any insert lands; records already
+	// appended to other targets are then incomplete and ignored by
+	// recovery the same way.
+	if e.durable() {
+		var batchID uint64
+		if len(targets) > 1 {
+			batchID = e.batchSeq.Add(1)
+		}
+		for _, idx := range targets {
+			sub := batches[idx]
+			recs := make([]metadata.File, len(sub))
+			for i, f := range sub {
+				recs[i] = *f
+			}
+			rec := wal.Record{Op: wal.OpInsert, BatchID: batchID, Files: recs}
+			if batchID != 0 {
+				rec.Targets = targets
+			}
+			if err := e.shards[idx].logRecord(rec); err != nil {
+				e.unreserve(files)
+				return Report{}, err
+			}
+		}
+	}
+
 	results := make([]cluster.Result, len(targets))
 	var wg sync.WaitGroup
 	for i, idx := range targets {
@@ -366,64 +418,79 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 // Delete removes a file by id, reporting whether it existed. The id
 // index routes the delete to its owning shard — deletes on different
 // shards run in parallel — and an unknown id is a no-op that touches no
-// shard state and bumps no epoch. The index entry is removed only
-// after the shard commit, so a concurrent insert of the same id is
-// rejected as a duplicate until the delete has fully landed.
-func (e *Engine) Delete(id uint64) (Report, bool) {
+// shard state and bumps no epoch. On a durable deployment the delete
+// record is logged before it applies (a replayed delete of a since-
+// vanished id is a harmless no-op); a WAL append failure rejects the
+// delete without applying it. The index entry is removed only after
+// the shard commit, so a concurrent insert of the same id is rejected
+// as a duplicate until the delete has fully landed.
+func (e *Engine) Delete(id uint64) (Report, bool, error) {
 	e.assignMu.RLock()
 	idx, ok := e.assign[id]
 	e.assignMu.RUnlock()
 	if !ok {
-		return Report{}, false
+		return Report{}, false, nil
 	}
 	s := e.shards[idx]
+	var res cluster.Result
+	var found bool
 	s.mu.Lock()
-	res, found := s.deleteLocked(id)
-	if found {
-		s.epoch.Add(1)
-	}
+	err := s.logThen(wal.Record{Op: wal.OpDelete, ID: id}, func() bool {
+		res, found = s.deleteLocked(id)
+		return found
+	})
 	s.mu.Unlock()
+	if err != nil {
+		return Report{}, false, err
+	}
 	if found {
 		e.assignMu.Lock()
 		delete(e.assign, id)
 		if id == e.maxID {
-			e.maxID = 0
-			for fid := range e.assign {
-				if fid > e.maxID {
-					e.maxID = fid
-				}
-			}
+			e.recomputeMaxLocked()
 		}
 		e.assignMu.Unlock()
 	}
-	return reportFrom(res), found
+	return reportFrom(res), found, nil
 }
 
 // Modify updates an existing file's attributes on its owning shard;
-// modifies on different shards run in parallel.
-func (e *Engine) Modify(f *metadata.File) (Report, bool) {
+// modifies on different shards run in parallel. Durable deployments
+// log the replacement record before applying it; a WAL append failure
+// rejects the modify without applying it.
+func (e *Engine) Modify(f *metadata.File) (Report, bool, error) {
 	e.assignMu.RLock()
 	idx, ok := e.assign[f.ID]
 	e.assignMu.RUnlock()
 	if !ok {
-		return Report{}, false
+		return Report{}, false, nil
 	}
 	s := e.shards[idx]
+	var res cluster.Result
+	var found bool
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, found := s.modifyLocked(f)
-	if found {
-		s.epoch.Add(1)
+	err := s.logThen(wal.Record{Op: wal.OpModify, Files: []metadata.File{*f}}, func() bool {
+		res, found = s.modifyLocked(f)
+		return found
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return Report{}, false, err
 	}
-	return reportFrom(res), found
+	return reportFrom(res), found, nil
 }
 
 // Flush propagates all pending changes on every shard. Each shard whose
-// deployment had pending work bumps its epoch.
-func (e *Engine) Flush() {
+// deployment had pending work logs the flush (durable deployments) and
+// bumps its epoch; a WAL append failure stops the sweep with that
+// shard's replicas untouched.
+func (e *Engine) Flush() error {
 	for _, s := range e.shards {
-		s.flush()
+		if _, err := s.flush(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Stats aggregates structural statistics across shards and returns the
@@ -463,9 +530,41 @@ func (e *Engine) Snapshot() *snapshot.Snapshot {
 			s.mu.RUnlock()
 		}
 	}()
+	return e.snapshotLocked()
+}
+
+// snapshotLocked captures every shard's tree and epoch. The caller
+// must hold every shard's read lock, so the epochs are the truncation
+// points of exactly the state captured.
+func (e *Engine) snapshotLocked() *snapshot.Snapshot {
 	trees := make([]*semtree.Tree, len(e.shards))
+	epochs := make([]uint64, len(e.shards))
 	for i, s := range e.shards {
 		trees[i] = s.primary.Tree
+		epochs[i] = s.epoch.Load()
 	}
-	return snapshot.CaptureShards(trees)
+	return snapshot.CaptureShards(trees, epochs)
+}
+
+// unreserve rolls back the assignment-index reservation of a rejected
+// insert batch.
+func (e *Engine) unreserve(files []*metadata.File) {
+	e.assignMu.Lock()
+	defer e.assignMu.Unlock()
+	for _, f := range files {
+		delete(e.assign, f.ID)
+	}
+	e.recomputeMaxLocked()
+}
+
+// recomputeMaxLocked rescans the assignment index for the largest
+// stored id after a removal invalidated the incremental maximum. The
+// caller must hold assignMu exclusively.
+func (e *Engine) recomputeMaxLocked() {
+	e.maxID = 0
+	for fid := range e.assign {
+		if fid > e.maxID {
+			e.maxID = fid
+		}
+	}
 }

@@ -112,16 +112,16 @@ func TestIDIndexRoutesMutations(t *testing.T) {
 	if !ok || got.Path != f.Path {
 		t.Fatalf("FileByID(%d) = %+v, %v", f.ID, got, ok)
 	}
-	if _, found := e.Delete(f.ID); !found {
-		t.Fatal("delete of stored id not found")
+	if _, found, err := e.Delete(f.ID); err != nil || !found {
+		t.Fatalf("delete of stored id: found=%v err=%v", found, err)
 	}
 	if _, ok := e.FileByID(f.ID); ok {
 		t.Fatal("deleted id still resolvable")
 	}
-	if _, found := e.Delete(f.ID); found {
+	if _, found, _ := e.Delete(f.ID); found {
 		t.Fatal("second delete reported found")
 	}
-	if _, found := e.Modify(&metadata.File{ID: 999999}); found {
+	if _, found, _ := e.Modify(&metadata.File{ID: 999999}); found {
 		t.Fatal("modify of unknown id reported found")
 	}
 }

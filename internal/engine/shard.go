@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/query"
 	"repro/internal/semtree"
+	"repro/internal/wal"
 )
 
 // Shard is one independent slice of a sharded deployment: its own
@@ -36,6 +38,13 @@ type Shard struct {
 	mu    sync.RWMutex
 	qslot map[*cluster.Cluster]chan struct{}
 	epoch atomic.Uint64
+
+	// log is the shard's write-ahead log (nil on a non-durable
+	// deployment). Every mutation goes through the logThen path —
+	// append the record, then apply — under the shard's write lock, so
+	// records land in mutation order and an acknowledged mutation is
+	// always on disk before it is visible.
+	log *wal.Log
 }
 
 // buildShard mirrors the original Store construction over one shard's
@@ -291,6 +300,39 @@ func (s *Shard) fileByID(id uint64) (metadata.File, bool) {
 	return out, ok
 }
 
+// logRecord stamps rec with the epoch it will commit at (the current
+// epoch plus one) and appends it to the shard's WAL — a no-op without
+// one. The caller must hold the shard's write lock, so the stamped
+// epoch cannot move before the record lands.
+func (s *Shard) logRecord(rec wal.Record) error {
+	if s.log == nil {
+		return nil
+	}
+	rec.Epoch = s.epoch.Load() + 1
+	if err := s.log.Append(&rec); err != nil {
+		return fmt.Errorf("engine: shard %d: %w", s.id, err)
+	}
+	return nil
+}
+
+// logThen is the shard's durable mutation path: append the record to
+// the WAL, then apply the mutation, then bump the epoch if apply
+// reports an effectual change. The log-before-apply order means a crash
+// at any point loses nothing acknowledged: either the record is on disk
+// (replayed on recovery) or the mutation was never acknowledged. An
+// append failure rejects the mutation without applying it — the log
+// rolls back to the previous frame boundary. The caller must hold the
+// shard's write lock.
+func (s *Shard) logThen(rec wal.Record, apply func() bool) error {
+	if err := s.logRecord(rec); err != nil {
+		return err
+	}
+	if apply() {
+		s.epoch.Add(1)
+	}
+	return nil
+}
+
 // insertFilesLocked inserts files into every deployed tree, summing the
 // primary deployment's accounting across the sub-batch. The caller must
 // hold the shard's write lock.
@@ -344,8 +386,12 @@ func (s *Shard) modifyLocked(f *metadata.File) (cluster.Result, bool) {
 }
 
 // flush propagates all pending changes on this shard, reporting whether
-// anything was pending (the condition for an epoch bump).
-func (s *Shard) flush() bool {
+// anything was pending (the condition for an epoch bump). An effectual
+// flush is logged (OpFlush, body-free) before propagating, so a
+// recovered shard replays the same epoch trajectory and replica-state
+// evolution the pre-crash shard went through; a no-op flush logs
+// nothing and bumps nothing.
+func (s *Shard) flush() (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	changed := false
@@ -356,12 +402,22 @@ func (s *Shard) flush() bool {
 				break
 			}
 		}
+		if changed {
+			break
+		}
+	}
+	if changed {
+		if err := s.logRecord(wal.Record{Op: wal.OpFlush}); err != nil {
+			return false, err
+		}
+	}
+	for _, c := range s.clusters {
 		c.PropagateAll()
 	}
 	if changed {
 		s.epoch.Add(1)
 	}
-	return changed
+	return changed, nil
 }
 
 // ShardStats summarizes one shard's structure for the serving layer.

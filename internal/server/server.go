@@ -418,7 +418,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if req.ID == 0 {
 		return badRequest("delete: missing id")
 	}
-	rep, found := s.store.Delete(req.ID)
+	rep, found, err := s.store.Delete(req.ID)
+	if err != nil {
+		// A WAL append failure: the delete was rejected before applying
+		// — surface it as a server-side error, not a quiet not-found.
+		return err
+	}
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Found:  found,
 		Epoch:  s.store.Epoch(),
@@ -453,7 +458,10 @@ func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) error {
 		}
 		existing.Attrs[a] = v
 	}
-	rep, found := s.store.Modify(&existing)
+	rep, found, err := s.store.Modify(&existing)
+	if err != nil {
+		return err
+	}
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Found:  found,
 		Epoch:  s.store.Epoch(),
@@ -463,7 +471,9 @@ func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) error {
-	s.store.Flush()
+	if err := s.store.Flush(); err != nil {
+		return err
+	}
 	writeJSON(w, http.StatusOK, FlushResponse{Epoch: s.store.Epoch()})
 	return nil
 }

@@ -10,8 +10,12 @@
 // metadata checkpointing a next-generation file system would perform at
 // reconfiguration points (§4.4 removes versions "when reconfiguring
 // index units" — a natural snapshot boundary). Version 2 adds the
-// per-shard unit partition; version 1 snapshots (single flat partition)
-// still load as a one-shard deployment.
+// per-shard unit partition; version 3 adds each shard's mutation epoch
+// at capture — the shard's write-ahead-log truncation point, so
+// recovery (snapshot + per-shard WAL tail replay, DESIGN.md §7) skips
+// records the snapshot already contains. Version 1 snapshots (single
+// flat partition) still load as a one-shard deployment, and version 2
+// snapshots load with zero epochs.
 package snapshot
 
 import (
@@ -24,10 +28,14 @@ import (
 )
 
 // FormatVersion is the version new snapshots are written with.
-const FormatVersion = 2
+const FormatVersion = 3
 
-// formatV1 is the legacy single-shard format, still accepted on read.
-const formatV1 = 1
+// Legacy formats, still accepted on read: v1 is the single-shard flat
+// partition, v2 the sharded partition without per-shard epochs.
+const (
+	formatV1 = 1
+	formatV2 = 2
+)
 
 // Snapshot is the persisted form of a deployment.
 type Snapshot struct {
@@ -55,6 +63,10 @@ type Snapshot struct {
 // ShardRecord is one shard's persisted partition.
 type ShardRecord struct {
 	Units []UnitRecord
+	// Epoch is the shard's mutation epoch at capture (version ≥ 3) —
+	// the shard's WAL truncation point: recovery replays only log
+	// records whose epoch exceeds it. Zero for v1/v2 snapshots.
+	Epoch uint64
 }
 
 // UnitRecord is one storage unit's persisted content.
@@ -63,15 +75,18 @@ type UnitRecord struct {
 	Files []metadata.File
 }
 
-// Capture extracts a single-shard snapshot from a built tree.
+// Capture extracts a single-shard snapshot from a built tree with a
+// zero epoch.
 func Capture(t *semtree.Tree) *Snapshot {
-	return CaptureShards([]*semtree.Tree{t})
+	return CaptureShards([]*semtree.Tree{t}, nil)
 }
 
-// CaptureShards extracts a snapshot from one tree per shard. All trees
-// must share a grouping predicate, configuration and normalizer (the
-// engine guarantees this); the shared state is captured from the first.
-func CaptureShards(trees []*semtree.Tree) *Snapshot {
+// CaptureShards extracts a snapshot from one tree per shard, stamping
+// each shard record with its mutation epoch at capture (epochs may be
+// nil for zero epochs — a deployment without a WAL). All trees must
+// share a grouping predicate, configuration and normalizer (the engine
+// guarantees this); the shared state is captured from the first.
+func CaptureShards(trees []*semtree.Tree, epochs []uint64) *Snapshot {
 	if len(trees) == 0 {
 		panic("snapshot: no trees to capture")
 	}
@@ -88,6 +103,9 @@ func CaptureShards(trees []*semtree.Tree) *Snapshot {
 		Shards:        make([]ShardRecord, len(trees)),
 	}
 	for i, t := range trees {
+		if epochs != nil {
+			s.Shards[i].Epoch = epochs[i]
+		}
 		for _, u := range t.Units() {
 			rec := UnitRecord{ID: u.ID, Files: make([]metadata.File, len(u.Files))}
 			for j, f := range u.Files {
@@ -97,6 +115,16 @@ func CaptureShards(trees []*semtree.Tree) *Snapshot {
 		}
 	}
 	return s
+}
+
+// ShardEpochs returns each persisted shard's mutation epoch at capture
+// — the per-shard WAL truncation points (all zero for v1/v2 streams).
+func (s *Snapshot) ShardEpochs() []uint64 {
+	out := make([]uint64, len(s.Shards))
+	for i, sh := range s.Shards {
+		out[i] = sh.Epoch
+	}
+	return out
 }
 
 // Write encodes the snapshot to w.
@@ -122,7 +150,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		}
 		s.Shards = []ShardRecord{{Units: s.Units}}
 		s.Units = nil
-	case FormatVersion:
+	case formatV2, FormatVersion:
 		if len(s.Shards) == 0 {
 			return nil, fmt.Errorf("snapshot: no shards")
 		}

@@ -146,6 +146,54 @@ func TestCaptureIsDeepCopy(t *testing.T) {
 	}
 }
 
+// A version-2 stream — sharded partition, written before the WAL
+// introduced per-shard epochs — must load with zero epochs (replay
+// everything a log might hold) rather than be rejected.
+func TestV2SnapshotLoadsWithZeroEpochs(t *testing.T) {
+	t1, _ := buildTree(t, 80, 3, 31)
+	t2, _ := buildTree(t, 90, 3, 32)
+	snap := CaptureShards([]*semtree.Tree{t1, t2}, []uint64{5, 6})
+	snap.Version = 2
+	for i := range snap.Shards {
+		snap.Shards[i].Epoch = 0 // what a v2 writer would (not) have written
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if back.ShardCount() != 2 || back.FileCount() != 170 {
+		t.Fatalf("v2 snapshot: %d shards / %d files", back.ShardCount(), back.FileCount())
+	}
+	for i, e := range back.ShardEpochs() {
+		if e != 0 {
+			t.Fatalf("v2 shard %d epoch = %d, want 0", i, e)
+		}
+	}
+	if _, err := back.RestoreShards(); err != nil {
+		t.Fatalf("v2 restore: %v", err)
+	}
+}
+
+func TestShardEpochsRoundTrip(t *testing.T) {
+	t1, _ := buildTree(t, 60, 3, 33)
+	snap := CaptureShards([]*semtree.Tree{t1}, []uint64{42})
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es := back.ShardEpochs(); len(es) != 1 || es[0] != 42 {
+		t.Fatalf("ShardEpochs = %v, want [42]", es)
+	}
+}
+
 func TestV1SnapshotLoadsAsOneShard(t *testing.T) {
 	// A pre-sharding stream: version 1, flat Units, no Shards — exactly
 	// what older builds wrote. It must lift into a one-shard snapshot.
@@ -188,7 +236,7 @@ func TestV1SnapshotLoadsAsOneShard(t *testing.T) {
 func TestMultiShardRoundTrip(t *testing.T) {
 	t1, _ := buildTree(t, 200, 4, 21)
 	t2, _ := buildTree(t, 300, 6, 22)
-	snap := CaptureShards([]*semtree.Tree{t1, t2})
+	snap := CaptureShards([]*semtree.Tree{t1, t2}, []uint64{7, 9})
 	if snap.ShardCount() != 2 || snap.FileCount() != 500 {
 		t.Fatalf("captured %d shards / %d files, want 2 / 500", snap.ShardCount(), snap.FileCount())
 	}

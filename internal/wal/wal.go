@@ -1,0 +1,315 @@
+// Package wal is the per-shard write-ahead log that gives the sharded
+// engine crash durability between snapshots. Each engine shard owns its
+// own log file — shards never contend on a shared log — and appends one
+// record per mutation (insert batch, delete, modify) *before* applying
+// it, so every acknowledged mutation since the last snapshot survives a
+// crash and replays on the next Open.
+//
+// A log file is a 12-byte header (magic, format version, shard index)
+// followed by length-prefixed, CRC-checksummed frames:
+//
+//	[4 bytes payload length, LE] [4 bytes CRC-32C of payload, LE] [payload]
+//
+// The payload encoding is the fixed binary layout of codec.go (see
+// DESIGN.md §7 for the byte-level format). Open scans the file,
+// validates every CRC, returns the decoded records, and truncates the
+// file back to its last valid frame — a torn final record (the process
+// died mid-append, or an fsync-less tail was lost) is discarded
+// cleanly, never mistaken for data.
+//
+// Records carry the shard's mutation epoch after applying, which is the
+// snapshot truncation point: a snapshot persists each shard's epoch at
+// capture, and recovery replays only records beyond it, so a crash
+// between a snapshot rename and the log truncation that follows it
+// cannot double-apply. Multi-shard insert batches carry a shared batch
+// id plus the full target-shard set; recovery drops batches that did
+// not reach every target's log (they were never acknowledged),
+// preserving the engine's atomic-batch guarantee across a crash.
+//
+// Three sync policies trade durability for throughput: SyncAlways
+// fsyncs every append before the mutation is acknowledged (survives
+// power loss), SyncInterval leaves fsync to a periodic caller (bounded
+// loss on power failure), SyncNever never fsyncs (the OS page cache
+// still preserves every acknowledged write across a process crash —
+// SIGKILL loses nothing under any policy).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it is acknowledged.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval defers fsync to periodic Sync calls by the owner.
+	SyncInterval
+	// SyncNever never fsyncs; the OS flushes at its leisure.
+	SyncNever
+)
+
+const (
+	// magic opens every log file: "SSWAL" plus a format version byte
+	// pair, so an incompatible future layout is rejected, not misread.
+	magic = "SSWAL\x00\x001"
+	// headerSize is magic (8) plus the owning shard index (uint32 LE).
+	headerSize = len(magic) + 4
+	// frameHeaderSize is the payload length plus CRC-32C prefix.
+	frameHeaderSize = 8
+	// maxRecordSize bounds a single payload so a corrupt length prefix
+	// cannot drive an arbitrary allocation.
+	maxRecordSize = 64 << 20
+)
+
+// castagnoli is the CRC-32C table shared by framing and recovery.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is one shard's append-only write-ahead log. All methods are safe
+// for concurrent use; the engine additionally serializes appends under
+// the shard's write lock, so records land in mutation order.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	shard  int
+	policy SyncPolicy
+	// size is the end of the valid prefix — the append offset. Writes
+	// go through WriteAt(size) so a failed append can roll back.
+	size int64
+	// err is sticky: once an append failure cannot be rolled back the
+	// log refuses further writes rather than risk a mid-file tear.
+	err error
+}
+
+// Open opens (creating if absent) the shard's log at path, validates
+// the header, scans and returns every intact record, and truncates a
+// torn tail so the file ends on a frame boundary ready for appends.
+func Open(path string, shard int, policy SyncPolicy) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, shard: shard, policy: policy}
+	recs, err := l.init()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// init validates or writes the header, scans the valid record prefix,
+// and truncates anything beyond it.
+func (l *Log) init() ([]Record, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: stat %s: %w", l.path, err)
+	}
+	if info.Size() < int64(headerSize) {
+		// Zero bytes, or a header torn by a crash during the log's very
+		// first write: no frame fits in under headerSize bytes, so the
+		// file provably holds no acknowledged record — reinitialize it
+		// instead of refusing to start forever.
+		if info.Size() > 0 {
+			if err := l.f.Truncate(0); err != nil {
+				return nil, fmt.Errorf("wal: reset torn header %s: %w", l.path, err)
+			}
+		}
+		hdr := make([]byte, headerSize)
+		copy(hdr, magic)
+		binary.LittleEndian.PutUint32(hdr[len(magic):], uint32(l.shard))
+		if _, err := l.f.WriteAt(hdr, 0); err != nil {
+			return nil, fmt.Errorf("wal: write header %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync header %s: %w", l.path, err)
+		}
+		l.size = int64(headerSize)
+		return nil, nil
+	}
+
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, 0, int64(headerSize)), hdr); err != nil {
+		return nil, fmt.Errorf("wal: %s: truncated header", l.path)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("wal: %s: bad magic (not a shard WAL, or an incompatible format)", l.path)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[len(magic):])); got != l.shard {
+		return nil, fmt.Errorf("wal: %s: log belongs to shard %d, want %d", l.path, got, l.shard)
+	}
+
+	recs, valid, err := scan(io.NewSectionReader(l.f, 0, info.Size()))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", l.path, err)
+	}
+	if valid < info.Size() {
+		// Torn or trailing-garbage tail: the final frame never finished
+		// (crash mid-append) — discard it so appends restart cleanly.
+		if err := l.f.Truncate(valid); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync %s: %w", l.path, err)
+		}
+	}
+	l.size = valid
+	return recs, nil
+}
+
+// scan reads frames from after the header until EOF or the first
+// damaged frame, returning the decoded records and the byte offset of
+// the valid prefix. A damaged frame (short header, short payload,
+// CRC mismatch, undecodable payload, oversized length) ends the scan
+// without error: everything after it is an unacknowledged tail.
+func scan(r *io.SectionReader) ([]Record, int64, error) {
+	var recs []Record
+	off := int64(headerSize)
+	fh := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(r, off, frameHeaderSize), fh); err != nil {
+			return recs, off, nil
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxRecordSize {
+			return recs, off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(r, off+frameHeaderSize, int64(n)), payload); err != nil {
+			return recs, off, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+// Append frames and writes one record at the end of the valid prefix,
+// fsyncing before returning under SyncAlways. A failed write rolls the
+// file back to the previous frame boundary; if even the rollback fails
+// the log goes sticky-broken and refuses further appends (a mid-file
+// tear would silently end replay early — refusing is the honest
+// failure).
+func (l *Log) Append(rec *Record) error {
+	payload, err := encodePayload(rec)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordSize {
+		// scan treats an over-limit length prefix as a torn tail, so an
+		// oversized frame — and everything after it — would silently
+		// vanish on the next Open. Refuse it before it is acknowledged.
+		return fmt.Errorf("wal: record payload %d bytes exceeds the %d limit (split the batch)",
+			len(payload), maxRecordSize)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return l.rollback(err)
+	}
+	if l.policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The frame is fully written and CRC-valid, so leaving it
+			// behind would replay a mutation the caller is about to
+			// reject. Roll it back (and persist the rollback) before
+			// reporting the failure.
+			return l.rollback(err)
+		}
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// rollback truncates the file back to the last acknowledged frame
+// boundary after a failed append, persisting the truncation. If the
+// rollback itself cannot be made durable the log goes sticky-broken —
+// with the on-disk state unknowable, refusing further appends is the
+// honest failure.
+func (l *Log) rollback(cause error) error {
+	if terr := l.f.Truncate(l.size); terr != nil {
+		l.err = fmt.Errorf("wal: %s broken: append failed (%v) and rollback failed (%v)", l.path, cause, terr)
+		return l.err
+	}
+	if serr := l.f.Sync(); serr != nil {
+		l.err = fmt.Errorf("wal: %s broken: append failed (%v) and rollback sync failed (%v)", l.path, cause, serr)
+		return l.err
+	}
+	return fmt.Errorf("wal: append %s: %w", l.path, cause)
+}
+
+// Sync forces appended records to stable storage — the periodic half of
+// SyncInterval.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Truncate discards every record, resetting the log to header-only —
+// called after a snapshot has durably captured everything the log
+// holds.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Truncate(int64(headerSize)); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.size = int64(headerSize)
+	return nil
+}
+
+// Size returns the current valid length of the log file in bytes
+// (header included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,376 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metadata"
+)
+
+func randFile(rng *rand.Rand) metadata.File {
+	f := metadata.File{
+		ID:       rng.Uint64(),
+		Path:     string(make([]byte, rng.Intn(64))),
+		SubTrace: rng.Intn(7) - 3,
+	}
+	b := []byte(f.Path)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	f.Path = string(b)
+	for a := range f.Attrs {
+		f.Attrs[a] = rng.NormFloat64() * 1e9
+	}
+	return f
+}
+
+func randRecord(rng *rand.Rand) Record {
+	rec := Record{Epoch: rng.Uint64(), BatchID: rng.Uint64()}
+	switch rng.Intn(4) {
+	case 3:
+		rec.Op = OpFlush
+		rec.BatchID = 0
+	case 0:
+		rec.Op = OpInsert
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			rec.Files = append(rec.Files, randFile(rng))
+		}
+		if rng.Intn(2) == 0 {
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				rec.Targets = append(rec.Targets, rng.Intn(64))
+			}
+		}
+	case 1:
+		rec.Op = OpDelete
+		rec.ID = rng.Uint64()
+	default:
+		rec.Op = OpModify
+		rec.Files = []metadata.File{randFile(rng)}
+	}
+	return rec
+}
+
+// recordsEqual compares records treating nil and empty slices alike
+// (the codec does not distinguish them).
+func recordsEqual(a, b Record) bool {
+	if a.Op != b.Op || a.Epoch != b.Epoch || a.BatchID != b.BatchID || a.ID != b.ID {
+		return false
+	}
+	if len(a.Targets) != len(b.Targets) || len(a.Files) != len(b.Files) {
+		return false
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return false
+		}
+	}
+	for i := range a.Files {
+		af, bf := a.Files[i], b.Files[i]
+		if af.ID != bf.ID || af.Path != bf.Path || af.SubTrace != bf.SubTrace {
+			return false
+		}
+		for j := range af.Attrs {
+			// NaN-safe bit comparison: the codec round-trips IEEE bits.
+			if math.Float64bits(af.Attrs[j]) != math.Float64bits(bf.Attrs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		rec := randRecord(rng)
+		buf, err := encodePayload(&rec)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+		back, err := decodePayload(buf)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded record: %v", err)
+		}
+		if !recordsEqual(rec, back) {
+			t.Fatalf("round trip mismatch:\n in %+v\nout %+v", rec, back)
+		}
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	rec := Record{Op: OpDelete, Epoch: 3, ID: 9}
+	buf, err := encodePayload(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][]byte{
+		nil,                                // empty
+		buf[:len(buf)-1],                   // truncated
+		append(buf[:len(buf):len(buf)], 0), // trailing byte
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown op
+	} {
+		if _, err := decodePayload(tc); err == nil {
+			t.Fatalf("decode accepted malformed payload %v", tc)
+		}
+	}
+	if _, err := encodePayload(&Record{Op: OpModify}); err == nil {
+		t.Fatal("encode accepted modify without a file")
+	}
+	if _, err := encodePayload(&Record{Op: Op(77)}); err == nil {
+		t.Fatal("encode accepted unknown op")
+	}
+}
+
+// FuzzDecodePayload asserts the codec never panics on arbitrary bytes,
+// and that anything it accepts re-encodes to the identical payload —
+// the round-trip property that makes replay deterministic.
+func FuzzDecodePayload(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 16; i++ {
+		rec := randRecord(rng)
+		buf, err := encodePayload(&rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodePayload(data)
+		if err != nil {
+			return
+		}
+		re, err := encodePayload(&rec)
+		if err != nil {
+			t.Fatalf("accepted record failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs:\n in %v\nout %v", data, re)
+		}
+	})
+}
+
+func openT(t *testing.T, path string, shard int) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, shard, SyncNever)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, recs
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0000.wal")
+	l, recs := openT(t, path, 0)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	rng := rand.New(rand.NewSource(3))
+	var want []Record
+	for i := 0; i < 100; i++ {
+		rec := randRecord(rng)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		want = append(want, rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openT(t, path, 0)
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("reopened log holds %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(want[i], got[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestTornTailTruncatedAtEveryOffset is the kill-mid-append simulation:
+// a log whose final frame is cut at every possible byte offset must
+// replay the preceding records cleanly, discard the torn tail, and
+// accept appends afterwards.
+func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	l, _ := openT(t, full, 0)
+	rng := rand.New(rand.NewSource(4))
+	var want []Record
+	for i := 0; i < 3; i++ {
+		rec := randRecord(rng)
+		if err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	intactSize := l.Size()
+	final := Record{Op: OpInsert, Epoch: 77, Files: []metadata.File{randFile(rng)}}
+	if err := l.Append(&final); err != nil {
+		t.Fatal(err)
+	}
+	fullSize := l.Size()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := intactSize; off < fullSize; off++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl, recs, err := Open(torn, 0, SyncNever)
+		if err != nil {
+			t.Fatalf("offset %d: Open: %v", off, err)
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, len(recs), len(want))
+		}
+		if tl.Size() != intactSize {
+			t.Fatalf("offset %d: torn tail not truncated: size %d, want %d", off, tl.Size(), intactSize)
+		}
+		// The log must keep working after discarding the tail.
+		rec := Record{Op: OpDelete, Epoch: 99, ID: 1}
+		if err := tl.Append(&rec); err != nil {
+			t.Fatalf("offset %d: append after truncation: %v", off, err)
+		}
+		if err := tl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs2, err := Open(torn, 0, SyncNever)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != len(want)+1 {
+			t.Fatalf("offset %d: reopen after append: %d records, want %d", off, len(recs2), len(want)+1)
+		}
+	}
+}
+
+func TestCorruptPayloadEndsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, 0)
+	for i := 0; i < 3; i++ {
+		rec := Record{Op: OpDelete, Epoch: uint64(i + 1), ID: uint64(i)}
+		if err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz := l.Size()
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[sz-1] ^= 0xFF // flip a payload byte of the final record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := openT(t, path, 0)
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("scan past a corrupt CRC: got %d records, want 2", len(recs))
+	}
+}
+
+func TestTruncateEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openT(t, path, 3)
+	rec := Record{Op: OpDelete, Epoch: 1, ID: 42}
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Op: OpDelete, Epoch: 2, ID: 43}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs := openT(t, path, 3)
+	if len(recs) != 1 || recs[0].ID != 43 {
+		t.Fatalf("after truncate+append: %+v", recs)
+	}
+}
+
+// A file shorter than the header (crash during the very first write)
+// provably holds no record — Open must reinitialize it, not refuse the
+// boot forever.
+func TestOpenReinitializesTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn-header.wal")
+	if err := os.WriteFile(path, []byte("SSWAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := openT(t, path, 0)
+	if len(recs) != 0 {
+		t.Fatalf("torn header yielded %d records", len(recs))
+	}
+	if err := l.Append(&Record{Op: OpDelete, Epoch: 1, ID: 7}); err != nil {
+		t.Fatalf("append after reinit: %v", err)
+	}
+	l.Close()
+	_, recs = openT(t, path, 0)
+	if len(recs) != 1 {
+		t.Fatalf("reinitialized log replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestOpenValidatesHeader(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.wal")
+	l, _ := openT(t, p1, 1)
+	l.Close()
+	if _, _, err := Open(p1, 2, SyncNever); err == nil {
+		t.Fatal("Open accepted a log owned by another shard")
+	}
+	p2 := filepath.Join(dir, "b.wal")
+	if err := os.WriteFile(p2, []byte("definitely not a WAL header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(p2, 0, SyncNever); err == nil {
+		t.Fatal("Open accepted garbage magic")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if !reflect.DeepEqual(
+		[]string{OpInsert.String(), OpDelete.String(), OpModify.String(), OpFlush.String(), Op(9).String()},
+		[]string{"insert", "delete", "modify", "flush", "op(9)"}) {
+		t.Fatal("Op.String drifted from the format documentation")
+	}
+}
+
+// An oversized record must be refused at Append — if it reached the
+// file, scan would read its length prefix as a torn tail and Open
+// would silently truncate it (and every later acknowledged record)
+// away.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.wal")
+	l, _ := openT(t, path, 0)
+	defer l.Close()
+	huge := make([]metadata.File, 1100)
+	longPath := string(make([]byte, 60<<10))
+	for i := range huge {
+		huge[i] = metadata.File{ID: uint64(i + 1), Path: longPath}
+	}
+	rec := Record{Op: OpInsert, Epoch: 1, Files: huge}
+	if err := l.Append(&rec); err == nil {
+		t.Fatal("Append accepted a record larger than maxRecordSize")
+	}
+	if err := l.Append(&Record{Op: OpDelete, Epoch: 1, ID: 5}); err != nil {
+		t.Fatalf("log unusable after rejecting an oversized record: %v", err)
+	}
+	if l.Size() <= int64(headerSize) {
+		t.Fatal("follow-up append did not land")
+	}
+}

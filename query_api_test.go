@@ -204,7 +204,7 @@ func TestMaxFileIDIncremental(t *testing.T) {
 	}
 
 	// Deleting the max falls back to the previous maximum.
-	if _, found := store.Delete(want + 500); !found {
+	if _, found, _ := store.Delete(want + 500); !found {
 		t.Fatal("delete of max id not found")
 	}
 	if got := store.MaxFileID(); got != want {

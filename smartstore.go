@@ -27,12 +27,23 @@
 // PointQuery, RangeQuery and TopKQuery remain as thin compatibility
 // wrappers over Do.
 //
+// # Durability
+//
+// With Config.DataDir set the store is durable: each engine shard
+// appends every mutation to its own write-ahead log before applying it
+// (Config.Durability picks the fsync policy), Checkpoint persists a
+// snapshot and truncates the logs, and Open recovers a crashed store —
+// snapshot load plus parallel per-shard WAL tail replay — losing no
+// acknowledged mutation. See DESIGN.md §7.
+//
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory and experiment index.
 package smartstore
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/semtree"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Attr identifies a metadata attribute dimension (file size, creation
@@ -118,6 +130,25 @@ type Config struct {
 	// VirtualScale maps the in-memory sample onto a (much larger)
 	// virtual population for latency modelling; see DESIGN.md §4.
 	VirtualScale float64
+	// DataDir, when set, makes the store durable: every shard appends
+	// mutations to its own write-ahead log under DataDir before
+	// applying them, and Checkpoint/Close persist snapshots there. A
+	// crashed durable store reopens with Open — snapshot load plus
+	// per-shard WAL tail replay — losing no acknowledged mutation. See
+	// DESIGN.md §7. Empty (the default) keeps the store purely
+	// in-memory.
+	DataDir string
+	// Durability selects the WAL fsync policy when DataDir is set:
+	// DurabilityAlways (the zero value — fsync before every
+	// acknowledgement), DurabilityInterval (periodic background fsync
+	// every SyncInterval), DurabilityNever (leave flushing to the OS).
+	// Acknowledged mutations survive a process crash under every
+	// policy; surviving power loss needs Always (or bounded loss under
+	// Interval).
+	Durability Durability
+	// SyncInterval is the background fsync period under
+	// DurabilityInterval (0 → 100ms).
+	SyncInterval time.Duration
 }
 
 // engineConfig maps the public configuration onto the engine layer's.
@@ -159,6 +190,15 @@ func (cfg Config) engineConfig() engine.Config {
 type Store struct {
 	cfg Config
 	eng *engine.Engine
+
+	// Durable-deployment state (nil/zero without Config.DataDir): one
+	// write-ahead log per shard, the background fsync loop under
+	// DurabilityInterval, and close-once bookkeeping.
+	logs      []*wal.Log
+	syncStop  chan struct{}
+	syncDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Epoch returns the store's composed mutation epoch: the sum of the
@@ -220,7 +260,13 @@ func Build(files []*File, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smartstore: %w", err)
 	}
-	return &Store{cfg: cfg, eng: eng}, nil
+	s := &Store{cfg: cfg, eng: eng}
+	if cfg.DataDir != "" {
+		if err := s.initDataDir(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Insert routes a new file's metadata to its semantically placed shard.
@@ -255,24 +301,42 @@ func (s *Store) InsertBatch(files []*File) (QueryReport, error) {
 // Delete removes a file by id, reporting whether it existed. The id →
 // shard index routes the delete directly to the owning shard; the
 // shard's epoch advances only when a file was actually removed — a
-// no-op delete must not invalidate query caches.
-func (s *Store) Delete(id uint64) (QueryReport, bool) {
-	rep, found := s.eng.Delete(id)
-	return fromEngineReport(rep), found
+// no-op delete must not invalidate query caches. On a durable store
+// the delete is logged before it applies; a returned error means the
+// WAL rejected the record and nothing changed.
+func (s *Store) Delete(id uint64) (QueryReport, bool, error) {
+	rep, found, err := s.eng.Delete(id)
+	if err != nil {
+		return QueryReport{}, false, fmt.Errorf("smartstore: %w", err)
+	}
+	return fromEngineReport(rep), found, nil
 }
 
 // Modify updates an existing file's attributes on its owning shard. The
-// epoch advances only when the file existed.
-func (s *Store) Modify(f *File) (QueryReport, bool) {
-	rep, found := s.eng.Modify(f)
-	return fromEngineReport(rep), found
+// epoch advances only when the file existed. On a durable store the
+// modify is logged before it applies; a returned error means the WAL
+// rejected the record and nothing changed.
+func (s *Store) Modify(f *File) (QueryReport, bool, error) {
+	rep, found, err := s.eng.Modify(f)
+	if err != nil {
+		return QueryReport{}, false, fmt.Errorf("smartstore: %w", err)
+	}
+	return fromEngineReport(rep), found, nil
 }
 
 // Flush propagates all pending changes to replicas on every shard (lazy
 // updates are otherwise threshold-driven, §3.4). Each shard's epoch
 // advances only when that shard had something pending — propagating
-// nothing changes no query's answer.
-func (s *Store) Flush() { s.eng.Flush() }
+// nothing changes no query's answer. On a durable store an effectual
+// flush is logged before propagating (so recovery replays the same
+// replica-state and epoch evolution); a returned error means a WAL
+// append failed and that shard's replicas were left untouched.
+func (s *Store) Flush() error {
+	if err := s.eng.Flush(); err != nil {
+		return fmt.Errorf("smartstore: %w", err)
+	}
+	return nil
+}
 
 // Stats summarizes the deployment.
 type Stats struct {

@@ -172,13 +172,13 @@ func TestInsertDeleteModifyLifecycle(t *testing.T) {
 
 	mod := *nf
 	mod.Attrs[smartstore.AttrSize] = 1
-	if _, ok := store.Modify(&mod); !ok {
+	if _, ok, err := store.Modify(&mod); err != nil || !ok {
 		t.Fatal("Modify failed")
 	}
-	if _, ok := store.Delete(nf.ID); !ok {
+	if _, ok, err := store.Delete(nf.ID); err != nil || !ok {
 		t.Fatal("Delete failed")
 	}
-	if _, ok := store.Delete(nf.ID); ok {
+	if _, ok, _ := store.Delete(nf.ID); ok {
 		t.Fatal("double delete succeeded")
 	}
 }

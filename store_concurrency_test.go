@@ -101,7 +101,9 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 				case 1:
 					f := *set.Files[(w*53+i*29)%len(set.Files)]
 					f.Attrs[smartstore.AttrSize] += 1
-					store.Modify(&f)
+					if _, _, err := store.Modify(&f); err != nil {
+						t.Errorf("modify: %v", err)
+					}
 				case 2:
 					id := nextID.Add(1)
 					src := set.Files[(w*41+i)%len(set.Files)]
@@ -111,7 +113,9 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 					if _, err := store.InsertBatch(batch); err != nil {
 						t.Errorf("batch insert of fresh id %d: %v", id, err)
 					}
-					store.Delete(id)
+					if _, _, err := store.Delete(id); err != nil {
+						t.Errorf("delete: %v", err)
+					}
 				case 3:
 					store.Flush()
 				}
@@ -149,12 +153,12 @@ func TestEpochAdvancesPerMutation(t *testing.T) {
 	}
 	// No-op mutations must not invalidate caches: delete of a missing
 	// id, modify of a missing file, flush with nothing pending.
-	if _, found := store.Delete(f.ID); found {
+	if _, found, _ := store.Delete(f.ID); found {
 		t.Fatal("second delete reported found")
 	}
 	missing := *f
 	missing.ID = store.MaxFileID() + 100
-	if _, found := store.Modify(&missing); found {
+	if _, found, _ := store.Modify(&missing); found {
 		t.Fatal("modify of missing id reported found")
 	}
 	store.Flush()

@@ -18,6 +18,11 @@ import (
 // either all of a batch or none of it. A store restored with Load
 // answers queries identically. Specialized auto-configuration trees are
 // not persisted.
+//
+// Save writes to an arbitrary sink (an export, a backup) and does NOT
+// truncate a durable store's write-ahead logs — only Checkpoint, which
+// pairs the snapshot write with the truncation inside one lock hold,
+// may discard log records.
 func (s *Store) Save(w io.Writer) error {
 	return s.eng.Snapshot().Write(w)
 }
@@ -26,12 +31,37 @@ func (s *Store) Save(w io.Writer) error {
 // deployments (server mapping, replicas) are regenerated from cfg's
 // seed; cfg's structural fields (Units, Attrs, Shards, fan-out,
 // threshold) are taken from the snapshot and ignored in cfg. Version-1
-// snapshots (written before sharding) load as a one-shard deployment.
+// snapshots (written before sharding) load as a one-shard deployment;
+// version-2 snapshots (written before the WAL) load with zero epochs.
+//
+// With cfg.DataDir set, the loaded store becomes durable: the data dir
+// is freshly initialized (it must not already hold a deployment) with
+// an initial checkpoint and empty per-shard WALs — the path for
+// seeding a durable daemon from an exported snapshot. To recover a
+// data dir that already has state, use Open.
 func Load(r io.Reader, cfg Config) (*Store, error) {
 	snap, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
+	s, err := restoreFromSnapshot(snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataDir != "" {
+		if err := s.initDataDir(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restoreFromSnapshot is the shared restore pipeline of Load and Open:
+// rebuild the shard trees, adopt the snapshot's structural fields over
+// cfg's, and regenerate the deployments from cfg's seed. Any change to
+// how a snapshot maps onto a store belongs here, so export (Load) and
+// crash recovery (Open) can never restore differently.
+func restoreFromSnapshot(snap *snapshot.Snapshot, cfg Config) (*Store, error) {
 	trees, err := snap.RestoreShards()
 	if err != nil {
 		return nil, err

@@ -196,8 +196,12 @@ func TestShardedStoreMatchesSingleShardUnderStress(t *testing.T) {
 					f := *set.Files[(w*53+i*29)%len(set.Files)]
 					f.Attrs[smartstore.AttrSize] += 1
 					g := f
-					s1.Modify(&f)
-					s4.Modify(&g)
+					if _, _, err := s1.Modify(&f); err != nil {
+						t.Errorf("ground-truth modify: %v", err)
+					}
+					if _, _, err := s4.Modify(&g); err != nil {
+						t.Errorf("sharded modify: %v", err)
+					}
 				case 2:
 					id := nextID.Add(1)
 					src := set.Files[(w*41+i)%len(set.Files)]
@@ -214,10 +218,10 @@ func TestShardedStoreMatchesSingleShardUnderStress(t *testing.T) {
 					if _, err := s4.InsertBatch(mk()); err != nil {
 						t.Errorf("sharded batch: %v", err)
 					}
-					if _, found := s1.Delete(id); !found {
+					if _, found, _ := s1.Delete(id); !found {
 						t.Errorf("ground-truth delete of %d not found", id)
 					}
-					if _, found := s4.Delete(id); !found {
+					if _, found, _ := s4.Delete(id); !found {
 						t.Errorf("sharded delete of %d not found", id)
 					}
 				case 3:
