@@ -1,0 +1,172 @@
+// Command benchdiff is the CI bench-regression gate: it compares two
+// smartbench -json reports (BENCH_serve.json from a base and a head
+// build) and fails when head's p95 latency regresses past the allowed
+// fraction for any (shard count, op type) pair present in both.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_base.json -head BENCH_head.json
+//	benchdiff -base ... -head ... -max-regress 0.25 -min-ms 1.0
+//
+// Fast ops drown in scheduler noise, so a pair is only eligible to fail
+// the gate when at least one side's p95 reaches -min-ms; below that the
+// comparison is printed but informational. Ops or shard counts present
+// on one side only are reported and skipped — a renamed op must not
+// silently drop out of the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// opStats mirrors the smartbench -json per-op block (only the fields
+// the gate reads).
+type opStats struct {
+	Count int     `json:"count"`
+	P95Ms float64 `json:"p95_ms"`
+}
+
+// benchResult mirrors one shard-count pass of the report.
+type benchResult struct {
+	Shards     int                `json:"shards"`
+	Throughput float64            `json:"throughput_ops_per_sec"`
+	PerOp      map[string]opStats `json:"per_op"`
+}
+
+// benchReport mirrors the smartbench -json envelope.
+type benchReport struct {
+	Results []benchResult `json:"results"`
+}
+
+// comparison is one (shards, op) pair's verdict.
+type comparison struct {
+	Shards   int
+	Op       string
+	BaseP95  float64
+	HeadP95  float64
+	Delta    float64 // fractional change, head vs. base
+	Gated    bool    // true when the pair can fail the gate
+	RegressK bool    // true when gated and past the threshold
+}
+
+func readReport(path string) (benchReport, error) {
+	var r benchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return r, fmt.Errorf("%s: no results", path)
+	}
+	return r, nil
+}
+
+// compare pairs up every (shards, op) present in both reports and
+// applies the regression rule. unmatched collects pairs present on one
+// side only.
+func compare(base, head benchReport, maxRegress, minMs float64) (comps []comparison, unmatched []string) {
+	baseByShards := map[int]benchResult{}
+	for _, r := range base.Results {
+		baseByShards[r.Shards] = r
+	}
+	headSeen := map[string]bool{}
+	for _, hr := range head.Results {
+		br, ok := baseByShards[hr.Shards]
+		if !ok {
+			unmatched = append(unmatched, fmt.Sprintf("shards=%d only in head", hr.Shards))
+			continue
+		}
+		for op, hs := range hr.PerOp {
+			bs, ok := br.PerOp[op]
+			headSeen[fmt.Sprintf("%d/%s", hr.Shards, op)] = true
+			if !ok {
+				unmatched = append(unmatched, fmt.Sprintf("shards=%d op=%s only in head", hr.Shards, op))
+				continue
+			}
+			c := comparison{Shards: hr.Shards, Op: op, BaseP95: bs.P95Ms, HeadP95: hs.P95Ms}
+			if bs.P95Ms > 0 {
+				c.Delta = hs.P95Ms/bs.P95Ms - 1
+			}
+			c.Gated = bs.P95Ms >= minMs || hs.P95Ms >= minMs
+			c.RegressK = c.Gated && bs.P95Ms > 0 && hs.P95Ms > bs.P95Ms*(1+maxRegress)
+			comps = append(comps, c)
+		}
+		for op := range br.PerOp {
+			if !headSeen[fmt.Sprintf("%d/%s", hr.Shards, op)] {
+				unmatched = append(unmatched, fmt.Sprintf("shards=%d op=%s only in base", hr.Shards, op))
+			}
+		}
+	}
+	headByShards := map[int]bool{}
+	for _, hr := range head.Results {
+		headByShards[hr.Shards] = true
+	}
+	for _, br := range base.Results {
+		if !headByShards[br.Shards] {
+			unmatched = append(unmatched, fmt.Sprintf("shards=%d only in base", br.Shards))
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Shards != comps[j].Shards {
+			return comps[i].Shards < comps[j].Shards
+		}
+		return comps[i].Op < comps[j].Op
+	})
+	sort.Strings(unmatched)
+	return comps, unmatched
+}
+
+func main() {
+	basePath := flag.String("base", "", "base build's smartbench -json report")
+	headPath := flag.String("head", "", "head build's smartbench -json report")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional p95 regression (0.25 = +25%)")
+	minMs := flag.Float64("min-ms", 1.0, "gate a pair only when either side's p95 reaches this many ms (noise floor)")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -head are required")
+		os.Exit(2)
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := readReport(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	comps, unmatched := compare(base, head, *maxRegress, *minMs)
+	fmt.Printf("%-8s %-10s %12s %12s %9s %s\n", "shards", "op", "base p95ms", "head p95ms", "delta", "verdict")
+	failed := 0
+	for _, c := range comps {
+		verdict := "ok"
+		switch {
+		case c.RegressK:
+			verdict = "REGRESSED"
+			failed++
+		case !c.Gated:
+			verdict = "info (under noise floor)"
+		}
+		fmt.Printf("%-8d %-10s %12.3f %12.3f %8.1f%% %s\n",
+			c.Shards, c.Op, c.BaseP95, c.HeadP95, c.Delta*100, verdict)
+	}
+	for _, u := range unmatched {
+		fmt.Printf("unmatched: %s\n", u)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d (shards, op) pair(s) regressed past +%.0f%%\n",
+			failed, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no p95 regression past +%.0f%% (%d pairs compared)\n",
+		*maxRegress*100, len(comps))
+}

@@ -1,0 +1,73 @@
+package main
+
+import "testing"
+
+func report(shards int, ops map[string]float64) benchReport {
+	per := map[string]opStats{}
+	for op, p95 := range ops {
+		per[op] = opStats{Count: 100, P95Ms: p95}
+	}
+	return benchReport{Results: []benchResult{{Shards: shards, PerOp: per}}}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report(4, map[string]float64{"range": 10, "point": 2})
+	head := report(4, map[string]float64{"range": 14, "point": 2.1})
+	comps, unmatched := compare(base, head, 0.25, 1.0)
+	if len(unmatched) != 0 {
+		t.Fatalf("unexpected unmatched pairs: %v", unmatched)
+	}
+	got := map[string]bool{}
+	for _, c := range comps {
+		got[c.Op] = c.RegressK
+	}
+	if !got["range"] {
+		t.Fatal("+40% p95 on range not flagged")
+	}
+	if got["point"] {
+		t.Fatal("+5% p95 on point flagged as regression")
+	}
+}
+
+func TestCompareToleratesWithinThreshold(t *testing.T) {
+	base := report(1, map[string]float64{"topk": 8})
+	head := report(1, map[string]float64{"topk": 9.9})
+	comps, _ := compare(base, head, 0.25, 1.0)
+	if len(comps) != 1 || comps[0].RegressK {
+		t.Fatalf("+24%% flagged: %+v", comps)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// Both sides under -min-ms: a 3x blowup on a 0.1ms op is scheduler
+	// noise, not a regression.
+	base := report(1, map[string]float64{"point": 0.1})
+	head := report(1, map[string]float64{"point": 0.3})
+	comps, _ := compare(base, head, 0.25, 1.0)
+	if len(comps) != 1 || comps[0].RegressK {
+		t.Fatalf("sub-noise-floor pair failed the gate: %+v", comps)
+	}
+	if comps[0].Gated {
+		t.Fatalf("pair under the noise floor reported as gated: %+v", comps[0])
+	}
+	// Crossing the floor upward IS gated: 0.5ms → 2ms.
+	comps, _ = compare(report(1, map[string]float64{"point": 0.5}),
+		report(1, map[string]float64{"point": 2}), 0.25, 1.0)
+	if len(comps) != 1 || !comps[0].RegressK {
+		t.Fatalf("floor-crossing regression missed: %+v", comps)
+	}
+}
+
+func TestCompareReportsUnmatched(t *testing.T) {
+	base := benchReport{Results: []benchResult{
+		{Shards: 1, PerOp: map[string]opStats{"range": {P95Ms: 5}}},
+		{Shards: 4, PerOp: map[string]opStats{"range": {P95Ms: 3}}},
+	}}
+	head := benchReport{Results: []benchResult{
+		{Shards: 1, PerOp: map[string]opStats{"scan": {P95Ms: 5}}},
+	}}
+	_, unmatched := compare(base, head, 0.25, 1.0)
+	if len(unmatched) != 3 { // range only in base, scan only in head, shards=4 only in base
+		t.Fatalf("unmatched = %v, want 3 entries", unmatched)
+	}
+}

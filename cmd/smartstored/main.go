@@ -11,15 +11,19 @@
 //	smartstored -addr :7070 -shards 4 -data-dir /var/lib/smartstore
 //
 // With -data-dir the store is durable: each engine shard appends every
-// mutation to its own write-ahead log before applying it (-fsync picks
-// the always/interval/never sync policy), a background loop checkpoints
-// (snapshot + WAL truncation) every -checkpoint-every, and a daemon
-// restarted over the same data dir recovers the last acknowledged
-// pre-crash state — snapshot load plus parallel per-shard WAL replay.
-// Defaults worth knowing: -shards 1 (unsharded; must not exceed
-// -units, default 60), -max-children 0 → fan-out M=10, -min-children 0
-// → m=2 (validated as 2 ≤ m ≤ M/2, a violation is a startup error, not
-// a panic), -fsync always, -checkpoint-every 5m.
+// mutation to its own segmented write-ahead log before applying it
+// (-fsync picks the always/interval/never sync policy; under always,
+// each log group-commits concurrent appenders — see DESIGN.md §7 for
+// what that batches today), checkpoints fold
+// the logs into a snapshot both periodically (-checkpoint-every) and
+// when the live WAL outgrows -checkpoint-bytes, and a daemon restarted
+// over the same data dir recovers the last acknowledged pre-crash
+// state — snapshot load plus parallel per-shard WAL replay. Defaults
+// worth knowing: -shards 1 (unsharded; must not exceed -units, default
+// 60), -max-children 0 → fan-out M=10, -min-children 0 → m=2
+// (validated as 2 ≤ m ≤ M/2, a violation is a startup error, not a
+// panic), -fsync always, -checkpoint-every 5m, -checkpoint-bytes 0
+// (size trigger off).
 //
 // Probe it with curl (see DESIGN.md §5 for the full API and §7 for the
 // durability design):
@@ -65,23 +69,25 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (fsync before every ack), interval (periodic), never (OS decides)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "periodic snapshot+WAL-truncation period with -data-dir (0 disables)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "checkpoint when the live WAL (summed across shards) outgrows this many bytes (0 disables size-triggered checkpoints)")
 	flag.Parse()
 
 	store, desc, err := bootstrap(bootstrapOpts{
-		loadPath:      *loadPath,
-		trace:         *traceName,
-		files:         *files,
-		units:         *units,
-		shards:        *shards,
-		seed:          *seed,
-		versioning:    *versioning,
-		online:        *online,
-		autoconfig:    *autoconfig,
-		maxChildren:   *maxChildren,
-		minChildren:   *minChildren,
-		dataDir:       *dataDir,
-		fsync:         *fsyncPolicy,
-		fsyncInterval: *fsyncInterval,
+		loadPath:        *loadPath,
+		trace:           *traceName,
+		files:           *files,
+		units:           *units,
+		shards:          *shards,
+		seed:            *seed,
+		versioning:      *versioning,
+		online:          *online,
+		autoconfig:      *autoconfig,
+		maxChildren:     *maxChildren,
+		minChildren:     *minChildren,
+		dataDir:         *dataDir,
+		fsync:           *fsyncPolicy,
+		fsyncInterval:   *fsyncInterval,
+		checkpointBytes: *checkpointBytes,
 	})
 	if err != nil {
 		log.Fatalf("smartstored: %v", err)
@@ -173,6 +179,7 @@ type bootstrapOpts struct {
 	dataDir                  string
 	fsync                    string
 	fsyncInterval            time.Duration
+	checkpointBytes          int64
 }
 
 // bootstrap builds the store: recovered from an initialized data dir,
@@ -193,17 +200,18 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 		}
 	}
 	cfg := smartstore.Config{
-		Units:        o.units,
-		Shards:       o.shards,
-		Seed:         o.seed,
-		Versioning:   o.versioning,
-		Mode:         mode,
-		AutoConfig:   o.autoconfig,
-		MaxChildren:  o.maxChildren,
-		MinChildren:  o.minChildren,
-		DataDir:      o.dataDir,
-		Durability:   durability,
-		SyncInterval: o.fsyncInterval,
+		Units:           o.units,
+		Shards:          o.shards,
+		Seed:            o.seed,
+		Versioning:      o.versioning,
+		Mode:            mode,
+		AutoConfig:      o.autoconfig,
+		MaxChildren:     o.maxChildren,
+		MinChildren:     o.minChildren,
+		DataDir:         o.dataDir,
+		Durability:      durability,
+		SyncInterval:    o.fsyncInterval,
+		CheckpointBytes: o.checkpointBytes,
 	}
 
 	if o.dataDir != "" && smartstore.DataDirInitialized(o.dataDir) {

@@ -67,12 +67,13 @@ func (d Durability) syncPolicy() wal.SyncPolicy {
 }
 
 // snapshotFileName is the recovery-base snapshot inside a data dir;
-// shard WALs sit beside it.
+// shard WAL segment directories sit beside it.
 const snapshotFileName = "snapshot.snap"
 
 func snapshotPath(dir string) string { return filepath.Join(dir, snapshotFileName) }
 
-func walFileName(shard int) string { return fmt.Sprintf("shard-%04d.wal", shard) }
+// walDirName is shard i's segment directory inside the data dir.
+func walDirName(shard int) string { return fmt.Sprintf("shard-%04d.wal", shard) }
 
 // DataDirInitialized reports whether dir already holds a durable
 // store's recovery base — the operator-facing probe the daemon uses to
@@ -97,7 +98,7 @@ func (s *Store) initDataDir() error {
 		return fmt.Errorf("smartstore: %w", err)
 	}
 	sweepStaleTemp(dir)
-	logs, tails, err := openLogs(dir, s.eng.Shards(), s.cfg.Durability.syncPolicy())
+	logs, tails, err := openLogs(dir, s.eng.Shards(), s.cfg.Durability.syncPolicy(), s.cfg.WALSegmentBytes)
 	if err != nil {
 		return err
 	}
@@ -118,6 +119,7 @@ func (s *Store) initDataDir() error {
 		return err
 	}
 	s.startSyncLoop()
+	s.startCheckpointLoop()
 	return nil
 }
 
@@ -157,7 +159,7 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.eng.SetShardEpochs(epochs); err != nil {
 		return nil, fmt.Errorf("smartstore: %w", err)
 	}
-	logs, tails, err := openLogs(cfg.DataDir, s.eng.Shards(), cfg.Durability.syncPolicy())
+	logs, tails, err := openLogs(cfg.DataDir, s.eng.Shards(), cfg.Durability.syncPolicy(), cfg.WALSegmentBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -186,16 +188,18 @@ func Open(cfg Config) (*Store, error) {
 		}
 	}
 	s.startSyncLoop()
+	s.startCheckpointLoop()
 	return s, nil
 }
 
-// openLogs opens (creating if absent) one WAL per shard under dir,
-// returning the logs and their scanned tails.
-func openLogs(dir string, shards int, policy wal.SyncPolicy) ([]*wal.Log, [][]wal.Record, error) {
+// openLogs opens (creating if absent) one segmented WAL per shard under
+// dir, returning the logs and their scanned tails.
+func openLogs(dir string, shards int, policy wal.SyncPolicy, segmentBytes int64) ([]*wal.Log, [][]wal.Record, error) {
 	logs := make([]*wal.Log, shards)
 	tails := make([][]wal.Record, shards)
 	for i := 0; i < shards; i++ {
-		l, tail, err := wal.Open(filepath.Join(dir, walFileName(i)), i, policy)
+		l, tail, err := wal.Open(filepath.Join(dir, walDirName(i)), i, policy,
+			wal.Options{SegmentBytes: segmentBytes})
 		if err != nil {
 			closeLogs(logs[:i])
 			return nil, nil, fmt.Errorf("smartstore: %w", err)
@@ -214,15 +218,18 @@ func closeLogs(logs []*wal.Log) {
 	}
 }
 
-// Checkpoint atomically persists the store's current state to the data
-// dir and truncates every shard's WAL: the snapshot is written to a
-// temporary file, fsynced, renamed over the previous one, and only
-// then are the logs emptied — a crash anywhere in between recovers
-// from whichever snapshot the rename left in place, with leftover log
-// records skipped via the snapshot's per-shard epoch truncation
-// points. All shard read locks are held in the engine's total lock
-// order for the capture, so a checkpoint racing a multi-shard batch
-// observes all of it or none of it.
+// Checkpoint persists the store's current state to the data dir and
+// retires the WAL segments the snapshot covers. The protocol is
+// lock-light: the capture (a memory copy) and a per-shard segment
+// rotation happen under the all-shard read locks — taken in the
+// engine's total lock order, so a checkpoint racing a multi-shard
+// batch observes all of it or none of it — and the expensive part (gob
+// encode, fsync, rename) runs after the locks are released, with
+// writers committing into the fresh segments concurrently. Only once
+// the snapshot is durable are the sealed segments deleted; a crash
+// anywhere in between recovers from whichever snapshot the rename left
+// in place, with leftover records skipped via the snapshot's per-shard
+// epoch truncation points.
 func (s *Store) Checkpoint() error {
 	if s.cfg.DataDir == "" {
 		return fmt.Errorf("smartstore: Checkpoint needs Config.DataDir")
@@ -230,6 +237,70 @@ func (s *Store) Checkpoint() error {
 	return s.eng.Checkpoint(func(snap *snapshot.Snapshot) error {
 		return writeSnapshotAtomic(s.cfg.DataDir, snap)
 	})
+}
+
+// startCheckpointLoop runs the WAL-size-triggered checkpointer: after
+// every mutation the store compares the total WAL size against
+// Config.CheckpointBytes and, past it, kicks this loop (non-blocking,
+// coalescing) to fold the logs into a snapshot. Disabled when
+// CheckpointBytes is zero.
+func (s *Store) startCheckpointLoop() {
+	if s.cfg.CheckpointBytes <= 0 {
+		return
+	}
+	s.ckptKick = make(chan struct{}, 1)
+	s.ckptStop = make(chan struct{})
+	s.ckptDone = make(chan struct{})
+	go func() {
+		defer close(s.ckptDone)
+		for {
+			select {
+			case <-s.ckptKick:
+				// Re-check under the kick: a periodic checkpoint may
+				// have drained the logs between the kick and now.
+				if s.walBytes() < s.cfg.CheckpointBytes {
+					continue
+				}
+				if err := s.Checkpoint(); err == nil {
+					s.autoCheckpoints.Add(1)
+				} else {
+					// The WAL still holds everything and the next
+					// mutation's kick retries; the failure counter
+					// (WALStats, /v1/stats) is how an operator learns
+					// auto-checkpoints are failing while the log grows.
+					s.autoCheckpointFailures.Add(1)
+				}
+			case <-s.ckptStop:
+				return
+			}
+		}
+	}()
+}
+
+// noteMutation is the post-mutation hook of WAL-size-triggered
+// checkpointing: cheap (one atomic-free size sum on a durable store,
+// nothing otherwise), it kicks the checkpoint loop when the logs have
+// outgrown Config.CheckpointBytes.
+func (s *Store) noteMutation() {
+	if s.ckptKick == nil {
+		return
+	}
+	if s.walBytes() < s.cfg.CheckpointBytes {
+		return
+	}
+	select {
+	case s.ckptKick <- struct{}{}:
+	default: // a kick is already pending; the loop coalesces them
+	}
+}
+
+// walBytes sums the live WAL size across shards.
+func (s *Store) walBytes() int64 {
+	var total int64
+	for _, l := range s.logs {
+		total += l.Size()
+	}
+	return total
 }
 
 // sweepStaleTemp removes snapshot temp files orphaned by a crash
@@ -324,6 +395,10 @@ func (s *Store) Close() error {
 			close(s.syncStop)
 			<-s.syncDone
 		}
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
 		s.closeErr = s.Checkpoint()
 		for _, l := range s.logs {
 			if err := l.Close(); err != nil && s.closeErr == nil {
@@ -335,8 +410,8 @@ func (s *Store) Close() error {
 }
 
 // WALSizes returns each shard's current write-ahead-log length in
-// bytes (nil on an in-memory store) — an operational signal for
-// checkpoint scheduling.
+// bytes across its live segments (nil on an in-memory store) — an
+// operational signal for checkpoint scheduling.
 func (s *Store) WALSizes() []int64 {
 	if s.logs == nil {
 		return nil
@@ -347,3 +422,52 @@ func (s *Store) WALSizes() []int64 {
 	}
 	return out
 }
+
+// WALStats aggregates the write-ahead logs' operational counters
+// across shards.
+type WALStats struct {
+	// Segments counts live segment files; Bytes their total valid
+	// length.
+	Segments int
+	Bytes    int64
+	// GroupCommits counts the fsync batches issued by the per-shard
+	// group committers (Durability Always); GroupedRecords the appends
+	// those batches acknowledged. Their ratio is the achieved batching
+	// factor.
+	GroupCommits   uint64
+	GroupedRecords uint64
+	// Rotations counts segment rotations (capacity- and
+	// checkpoint-triggered). AutoCheckpoints counts the checkpoints
+	// Config.CheckpointBytes triggered; AutoCheckpointFailures the
+	// triggered checkpoints that failed (the WAL keeps everything and
+	// the next mutation retries, but a climbing failure count with a
+	// growing WAL is the disk-pressure alarm).
+	Rotations              uint64
+	AutoCheckpoints        uint64
+	AutoCheckpointFailures uint64
+}
+
+// WALStats snapshots the durable store's log counters (zero value on an
+// in-memory store).
+func (s *Store) WALStats() WALStats {
+	var out WALStats
+	if s.logs == nil {
+		return out
+	}
+	for _, l := range s.logs {
+		st := l.Stats()
+		out.Segments += st.Segments
+		out.Bytes += st.Bytes
+		out.GroupCommits += st.GroupCommits
+		out.GroupedRecords += st.GroupedRecords
+		out.Rotations += st.Rotations
+	}
+	out.AutoCheckpoints = s.autoCheckpoints.Load()
+	out.AutoCheckpointFailures = s.autoCheckpointFailures.Load()
+	return out
+}
+
+// Durable reports whether the store has a data dir (and therefore
+// write-ahead logs) attached — a lock-free probe for serving layers
+// that only want WAL statistics when they exist.
+func (s *Store) Durable() bool { return s.logs != nil }

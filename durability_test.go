@@ -8,9 +8,16 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	smartstore "repro"
+	"repro/internal/wal"
 )
+
+// segHeaderOnly is the on-disk size of an empty WAL segment (header
+// only) — what each shard's directory holds right after a checkpoint
+// retired everything.
+const segHeaderOnly = int64(wal.SegmentHeaderSize)
 
 // buildDurableStore deploys a 4-shard durable store over a synthesized
 // corpus in a fresh data dir.
@@ -182,8 +189,11 @@ func TestCleanCloseReopens(t *testing.T) {
 		t.Fatalf("second Close: %v", err)
 	}
 	for i, sz := range storeWALSizesOnDisk(t, dir, 2) {
-		if sz != 12 { // header only: Close's checkpoint truncated the log
-			t.Fatalf("shard %d WAL holds %d bytes after clean Close, want 12", i, sz)
+		if sz != segHeaderOnly { // one empty segment: Close's checkpoint retired the rest
+			t.Fatalf("shard %d WAL holds %d bytes after clean Close, want %d", i, sz, segHeaderOnly)
+		}
+		if n := len(shardSegFiles(t, dir, i)); n != 1 {
+			t.Fatalf("shard %d holds %d segment files after clean Close, want 1", i, n)
 		}
 	}
 	back := reopen(t, dir)
@@ -196,17 +206,42 @@ func TestCleanCloseReopens(t *testing.T) {
 	}
 }
 
+// shardSegFiles lists shard i's WAL segment files in sequence order.
+func shardSegFiles(t testing.TB, dir string, shard int) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", shard), "seg-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
 func storeWALSizesOnDisk(t testing.TB, dir string, shards int) []int64 {
 	t.Helper()
 	out := make([]int64, shards)
 	for i := range out {
-		info, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i)))
-		if err != nil {
-			t.Fatal(err)
+		for _, p := range shardSegFiles(t, dir, i) {
+			info, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] += info.Size()
 		}
-		out[i] = info.Size()
 	}
 	return out
+}
+
+// wipeShardWAL deletes every segment file in one shard's WAL directory
+// — the fault-injection stand-in for a shard whose log never reached
+// disk.
+func wipeShardWAL(t testing.TB, dir string, shard int) {
+	t.Helper()
+	for _, p := range shardSegFiles(t, dir, shard) {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // TestIncompleteMultiShardBatchDroppedAtomically: a batch logged to
@@ -235,7 +270,7 @@ func TestIncompleteMultiShardBatchDroppedAtomically(t *testing.T) {
 	sizes := store.WALSizes()
 	grown := []int{}
 	for i, sz := range sizes {
-		if sz > 12 {
+		if sz > segHeaderOnly {
 			grown = append(grown, i)
 		}
 	}
@@ -244,9 +279,7 @@ func TestIncompleteMultiShardBatchDroppedAtomically(t *testing.T) {
 	}
 
 	// Crash, then lose one target shard's copy of the batch record.
-	if err := os.Truncate(filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", grown[0])), 12); err != nil {
-		t.Fatal(err)
-	}
+	wipeShardWAL(t, dir, grown[0])
 	recovered := reopen(t, dir)
 	defer recovered.Close()
 	if got := recovered.Stats().Files; got != preFiles {
@@ -281,7 +314,7 @@ func TestKillMidBatchEveryTornOffset(t *testing.T) {
 	sizes := store.WALSizes()
 	victim := -1
 	for i, sz := range sizes {
-		if sz > 12 {
+		if sz > segHeaderOnly {
 			victim = i
 		}
 	}
@@ -290,7 +323,7 @@ func TestKillMidBatchEveryTornOffset(t *testing.T) {
 	}
 	multi := 0
 	for _, sz := range sizes {
-		if sz > 12 {
+		if sz > segHeaderOnly {
 			multi++
 		}
 	}
@@ -298,31 +331,21 @@ func TestKillMidBatchEveryTornOffset(t *testing.T) {
 		t.Skip("batch landed on one shard; tearing it is covered by the wal package tests")
 	}
 
-	victimPath := filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", victim))
+	// The fresh store's writes fit one segment per shard; tear that one.
+	victimSegs := shardSegFiles(t, dir, victim)
+	if len(victimSegs) != 1 {
+		t.Fatalf("victim shard holds %d segments, want 1", len(victimSegs))
+	}
+	victimPath := victimSegs[0]
 	intact, err := os.ReadFile(victimPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Keep the other logs and the snapshot pristine across iterations.
-	pristine := map[string][]byte{}
-	entries, err := filepath.Glob(filepath.Join(dir, "*"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, p := range entries {
-		b, err := os.ReadFile(p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		pristine[p] = b
-	}
+	pristine := snapshotDataDir(t, dir)
 
-	for off := int64(12); off < int64(len(intact)); off += 7 { // stride keeps the test fast; wal tests cover every offset
-		for p, b := range pristine {
-			if err := os.WriteFile(p, b, 0o644); err != nil {
-				t.Fatal(err)
-			}
-		}
+	for off := int64(segHeaderOnly); off < int64(len(intact)); off += 7 { // stride keeps the test fast; wal tests cover every offset
+		restoreDataDir(t, pristine)
 		if err := os.Truncate(victimPath, off); err != nil {
 			t.Fatal(err)
 		}
@@ -331,6 +354,38 @@ func TestKillMidBatchEveryTornOffset(t *testing.T) {
 			t.Fatalf("tear at %d: %d files, want %d (batch must drop atomically)", off, got, preFiles)
 		}
 		recovered.Close()
+	}
+}
+
+// snapshotDataDir captures every file under dir (recursively — shard
+// WALs are segment directories) so a fault-injection loop can restore
+// the exact pre-fault on-disk state between iterations.
+func snapshotDataDir(t testing.TB, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		out[p] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func restoreDataDir(t testing.TB, pristine map[string][]byte) {
+	t.Helper()
+	for p, b := range pristine {
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -349,16 +404,18 @@ func TestRecoveryIgnoresPreCheckpointRecords(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Save the WAL tails, checkpoint (truncating them), then put the
-	// tails back — exactly the on-disk state of a crash mid-truncation.
+	// Save the WAL segments, checkpoint (rotating past and deleting
+	// them), then put them back — exactly the on-disk state of a crash
+	// after the snapshot rename but before the deferred truncation.
 	walBytes := map[string][]byte{}
 	for i := 0; i < 2; i++ {
-		p := filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", i))
-		b, err := os.ReadFile(p)
-		if err != nil {
-			t.Fatal(err)
+		for _, p := range shardSegFiles(t, dir, i) {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			walBytes[p] = b
 		}
-		walBytes[p] = b
 	}
 	if err := store.Checkpoint(); err != nil {
 		t.Fatal(err)
@@ -438,6 +495,98 @@ func TestOpenRequiresInitializedDataDir(t *testing.T) {
 	}
 	if _, err := smartstore.Open(smartstore.Config{}); err == nil {
 		t.Fatal("Open succeeded without a data dir")
+	}
+}
+
+// TestSizeTriggeredCheckpoint: with Config.CheckpointBytes set, a
+// mutation stream that outgrows the threshold must trigger background
+// checkpoints that fold the logs into the snapshot — the WAL shrinks
+// back without any explicit Checkpoint call — and the store stays
+// recoverable throughout.
+func TestSizeTriggeredCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	set, err := smartstore.GenerateTrace("MSN", 300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{
+		Units:           8,
+		Shards:          2,
+		Seed:            17,
+		DataDir:         dir,
+		Durability:      smartstore.DurabilityNever,
+		CheckpointBytes: 8 << 10,
+		WALSegmentBytes: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := store.MaxFileID()
+	for j := 0; j < 200; j++ {
+		f := &smartstore.File{
+			ID:    base + uint64(j) + 1,
+			Path:  fmt.Sprintf("/auto/f%d", j),
+			Attrs: set.Files[j%len(set.Files)].Attrs,
+		}
+		if _, err := store.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store.WALStats().AutoCheckpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no size-triggered checkpoint after the WAL outgrew the threshold (sizes %v)",
+				store.WALSizes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := store.Stats().Files
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := reopen(t, dir)
+	defer back.Close()
+	if got := back.Stats().Files; got != want {
+		t.Fatalf("reopened files = %d, want %d", got, want)
+	}
+}
+
+// TestWALStatsGroupCommitCounters: under DurabilityAlways every
+// acknowledged mutation is covered by a group commit, and the counters
+// surface through the Store facade (and from there /v1/stats).
+func TestWALStatsGroupCommitCounters(t *testing.T) {
+	dir := t.TempDir()
+	set, err := smartstore.GenerateTrace("MSN", 200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{
+		Units: 6, Shards: 2, Seed: 17, DataDir: dir,
+		Durability: smartstore.DurabilityAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	base := store.MaxFileID()
+	const inserts = 10
+	for j := 0; j < inserts; j++ {
+		f := &smartstore.File{ID: base + uint64(j) + 1, Path: fmt.Sprintf("/gc/f%d", j),
+			Attrs: set.Files[j].Attrs}
+		if _, err := store.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := store.WALStats()
+	if ws.GroupedRecords < inserts {
+		t.Fatalf("group committer acknowledged %d records, want ≥ %d", ws.GroupedRecords, inserts)
+	}
+	if ws.GroupCommits == 0 || ws.GroupCommits > ws.GroupedRecords {
+		t.Fatalf("implausible group-commit counters: %d commits / %d records",
+			ws.GroupCommits, ws.GroupedRecords)
+	}
+	if ws.Segments < 2 || ws.Bytes <= 2*segHeaderOnly {
+		t.Fatalf("implausible segment inventory: %d segments, %d bytes", ws.Segments, ws.Bytes)
 	}
 }
 

@@ -170,31 +170,71 @@ func (e *Engine) Recover(tails [][]wal.Record, base []uint64) (int, error) {
 	return total, nil
 }
 
-// Checkpoint atomically snapshots the engine and truncates every
-// shard's WAL. All shard read locks are taken in the engine's
-// ascending lock order (the same total order Save and multi-shard
-// batches use), the capture is handed to write — which must make it
-// durable before returning — and only then is each log truncated. A
-// crash after the snapshot lands but before (or during) truncation is
-// safe: leftover records carry epochs at or below the snapshot's
-// truncation points and are skipped on recovery.
+// Checkpoint snapshots the engine and retires the WAL segments the
+// snapshot covers, holding the all-shard lock only for the cheap part.
+// The protocol is crash-safe at every point and keeps writers off the
+// critical path of the expensive snapshot encode:
+//
+//  1. Under every shard's read lock (taken in the engine's ascending
+//     total order, the same order Save and multi-shard batches use):
+//     capture the snapshot — a memory copy of each shard's units plus
+//     its epoch — and rotate each shard's WAL to a fresh segment. The
+//     rotation boundary and the captured epoch align exactly: every
+//     record at or below the boundary has an epoch the snapshot covers.
+//  2. Release the locks, then hand the capture to write — which must
+//     make it durable before returning. Mutations proceed concurrently,
+//     logging into the fresh segments; the capture is a private copy,
+//     so the encode races nothing.
+//  3. Only after write returns does each shard delete its sealed
+//     segments at or below the boundary (deferred truncation).
+//
+// A crash before the snapshot lands recovers from the previous snapshot
+// plus all live segments; a crash after it lands but before (or during)
+// the deferred deletion recovers from the new snapshot, with the
+// leftover sealed records recognized by their epochs as already applied
+// and skipped. ckptMu serializes concurrent checkpoints so their
+// rotation boundaries and deletions cannot interleave.
 func (e *Engine) Checkpoint(write func(*snapshot.Snapshot) error) error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
 	for _, s := range e.shards {
 		s.mu.RLock()
 	}
-	defer func() {
-		for _, s := range e.shards {
-			s.mu.RUnlock()
-		}
-	}()
-	if err := write(e.snapshotLocked()); err != nil {
-		return err
-	}
-	for _, s := range e.shards {
+	snap := e.snapshotLocked()
+	boundaries := make([]uint64, len(e.shards))
+	var rotErr error
+	for i, s := range e.shards {
 		if s.log == nil {
 			continue
 		}
-		if err := s.log.Truncate(); err != nil {
+		if boundaries[i], rotErr = s.log.Rotate(); rotErr != nil {
+			rotErr = fmt.Errorf("engine: shard %d: %w", s.id, rotErr)
+			break
+		}
+	}
+	for _, s := range e.shards {
+		s.mu.RUnlock()
+	}
+	if rotErr != nil {
+		// Shards rotated before the failure keep their sealed segments;
+		// recovery replays them and the next checkpoint retires them.
+		return rotErr
+	}
+
+	if err := write(snap); err != nil {
+		return err
+	}
+
+	for i, s := range e.shards {
+		if s.log == nil {
+			continue
+		}
+		if err := s.log.DropSealed(boundaries[i]); err != nil {
+			// Leftover sealed segments are correctness-neutral (epoch
+			// truncation skips them on recovery) but waste disk; surface
+			// the error so the operator sees it and the next checkpoint
+			// retries.
 			return fmt.Errorf("engine: shard %d: %w", s.id, err)
 		}
 	}

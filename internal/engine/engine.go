@@ -26,10 +26,14 @@
 // logged to every target shard (under the same ascending lock order
 // Save uses) with a shared batch id before any shard applies, so
 // recovery can drop a batch that did not reach every target — the
-// atomic-batch guarantee survives a crash. Checkpoint snapshots all
-// shards and truncates the logs; Recover replays per-shard tails,
-// independently and in parallel, past the snapshot's per-shard epoch
-// truncation points. See internal/wal and DESIGN.md §7.
+// atomic-batch guarantee survives a crash. Checkpoint is lock-light:
+// it captures the snapshot and rotates every shard's segmented WAL
+// under the all-shard read locks, releases them, writes the snapshot
+// outside the lock hold, and only then deletes the sealed segments the
+// snapshot covers — writers proceed for the whole encode. Recover
+// replays per-shard tails, independently and in parallel, past the
+// snapshot's per-shard epoch truncation points. See internal/wal and
+// DESIGN.md §7.
 package engine
 
 import (
@@ -105,6 +109,12 @@ type Engine struct {
 	// ids restarting from zero can never collide with ids still in a
 	// log. Zero is reserved for single-shard records.
 	batchSeq atomic.Uint64
+
+	// ckptMu serializes checkpoints: the rotate-snapshot-drop protocol
+	// releases the shard locks mid-flight, so two interleaved
+	// checkpoints could otherwise cross their rotation boundaries and
+	// deferred deletions.
+	ckptMu sync.Mutex
 }
 
 // seedFor derives shard i's deterministic cluster seed. Shard 0 keeps

@@ -492,7 +492,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			Epoch:      p.Epoch,
 		}
 	}
+	var walStats *WALStats
+	if s.store.Durable() {
+		ws := s.store.WALStats()
+		walStats = &WALStats{
+			Segments:               ws.Segments,
+			Bytes:                  ws.Bytes,
+			GroupCommits:           ws.GroupCommits,
+			GroupedRecords:         ws.GroupedRecords,
+			Rotations:              ws.Rotations,
+			AutoCheckpoints:        ws.AutoCheckpoints,
+			AutoCheckpointFailures: ws.AutoCheckpointFailures,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		WAL: walStats,
 		Store: StoreStats{
 			Units:             st.Units,
 			IndexUnits:        st.IndexUnits,

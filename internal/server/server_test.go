@@ -277,6 +277,54 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Server.Workers <= 0 {
 		t.Fatalf("worker pool not reported: %+v", st.Server)
 	}
+	if st.WAL != nil {
+		t.Fatalf("in-memory store reported WAL stats: %+v", st.WAL)
+	}
+}
+
+// TestStatsEndpointWALSection: a durable store's /v1/stats carries the
+// segment inventory and group-commit counters.
+func TestStatsEndpointWALSection(t *testing.T) {
+	set, err := smartstore.GenerateTrace("MSN", 400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{
+		Units: 8, Shards: 2, Seed: 42,
+		DataDir:    t.TempDir(),
+		Durability: smartstore.DurabilityAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(New(store, Options{}))
+	t.Cleanup(ts.Close)
+
+	var ins InsertResponse
+	if code := postJSON(t, ts.URL+"/v1/insert", InsertRequest{Files: []FileRecord{
+		{Path: "/wal/a.dat", Attrs: map[string]float64{"size": 4096, "mtime": 41000}},
+	}}, &ins); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil {
+		t.Fatal("durable store reported no WAL stats")
+	}
+	if st.WAL.Segments < 2 || st.WAL.Bytes == 0 {
+		t.Fatalf("implausible WAL inventory: %+v", st.WAL)
+	}
+	if st.WAL.GroupCommits == 0 || st.WAL.GroupedRecords == 0 {
+		t.Fatalf("group-commit counters not surfaced: %+v", st.WAL)
+	}
 }
 
 func TestBadRequests(t *testing.T) {

@@ -315,10 +315,25 @@ type ServerStats struct {
 	Cache     CacheStats `json:"cache"`
 }
 
+// WALStats reports a durable store's write-ahead-log counters: segment
+// inventory, group-commit effectiveness (grouped_records /
+// group_commits is the achieved batching factor), and checkpoint
+// activity. Absent on an in-memory store.
+type WALStats struct {
+	Segments               int    `json:"segments"`
+	Bytes                  int64  `json:"bytes"`
+	GroupCommits           uint64 `json:"group_commits"`
+	GroupedRecords         uint64 `json:"grouped_records"`
+	Rotations              uint64 `json:"rotations"`
+	AutoCheckpoints        uint64 `json:"auto_checkpoints"`
+	AutoCheckpointFailures uint64 `json:"auto_checkpoint_failures"`
+}
+
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	Store  StoreStats  `json:"store"`
 	Server ServerStats `json:"server"`
+	WAL    *WALStats   `json:"wal,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

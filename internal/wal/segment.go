@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A shard's log is a directory of fixed-capacity segment files with a
+// monotonic sequence number. Exactly one segment — the one with the
+// highest sequence — is active (appends land there); every earlier
+// segment is sealed: closed, immutable, and — under SyncAlways and
+// SyncInterval — fully fsynced before the next segment was created.
+// That seal-before-create ordering is the invariant recovery leans on:
+// a crash can tear only the newest segment's tail, so a scan that stops
+// at damage in an older segment is discarding bytes that were provably
+// never acknowledged.
+//
+// Segment file layout: a 20-byte header — magic "SSWAL\0\0" plus the
+// format version byte '2' (8 bytes), the owning shard index (uint32 LE)
+// and the segment sequence number (uint64 LE) — followed by the same
+// length-prefixed CRC-32C frames as before (see codec.go):
+//
+//	[4 bytes payload length, LE] [4 bytes CRC-32C of payload, LE] [payload]
+
+const (
+	// segMagic opens every segment file. The trailing '2' is the format
+	// version: the single-file v1 layout ("...1") is rejected with a
+	// distinct error, never misread.
+	segMagic = "SSWAL\x00\x002"
+	// SegmentHeaderSize is a segment header's size — magic (8) + shard
+	// index (uint32) + sequence (uint64) — and therefore the on-disk
+	// footprint of an empty segment. Exported so tests outside the
+	// package can assert on header-only segments without hardcoding the
+	// format.
+	SegmentHeaderSize = len(segMagic) + 4 + 8
+	// segHeaderSize is the package-internal alias.
+	segHeaderSize = SegmentHeaderSize
+	// frameHeaderSize is the payload length plus CRC-32C prefix.
+	frameHeaderSize = 8
+	// maxRecordSize bounds a single payload so a corrupt length prefix
+	// cannot drive an arbitrary allocation.
+	maxRecordSize = 64 << 20
+	// DefaultSegmentBytes is the rotation capacity when Options leaves
+	// SegmentBytes zero.
+	DefaultSegmentBytes = 1 << 20
+)
+
+// castagnoli is the CRC-32C table shared by framing and recovery.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is the log's one mutable segment file: the append target.
+type segment struct {
+	f    *os.File
+	path string
+	seq  uint64
+	// size is the end of the valid prefix — the append offset.
+	size int64
+	// acked is the durable watermark: every frame below it has been
+	// covered by a successful fsync (group commit advances it; sealing
+	// raises it to size). It is the rollback target when a group fsync
+	// fails — frames beyond it were never acknowledged.
+	acked int64
+}
+
+// sealedSegment is an immutable, closed predecessor of the active
+// segment, retained until a checkpoint's deferred truncation deletes
+// it.
+type sealedSegment struct {
+	path string
+	seq  uint64
+	size int64
+}
+
+func segmentFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%016d.seg", seq)
+}
+
+// parseSegmentFileName extracts the sequence from a segment file name,
+// reporting false for anything that is not one.
+func parseSegmentFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg")
+	if len(digits) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// encodeSegmentHeader frames a segment header for the given shard and
+// sequence.
+func encodeSegmentHeader(shard int, seq uint64) []byte {
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[len(segMagic):], uint32(shard))
+	binary.LittleEndian.PutUint64(hdr[len(segMagic)+4:], seq)
+	return hdr
+}
+
+// decodeSegmentHeader parses and validates a segment header against the
+// expected shard and sequence.
+func decodeSegmentHeader(hdr []byte, shard int, seq uint64) error {
+	if string(hdr[:len(segMagic)]) != segMagic {
+		if string(hdr[:len(segMagic)-1]) == segMagic[:len(segMagic)-1] {
+			return fmt.Errorf("wal: format version %q (want %q — not a v2 segment)",
+				hdr[len(segMagic)-1], segMagic[len(segMagic)-1])
+		}
+		return fmt.Errorf("wal: bad magic (not a WAL segment)")
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[len(segMagic):])); got != shard {
+		return fmt.Errorf("wal: segment belongs to shard %d, want %d", got, shard)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[len(segMagic)+4:]); got != seq {
+		return fmt.Errorf("wal: segment header sequence %d disagrees with file name (%d)", got, seq)
+	}
+	return nil
+}
+
+// createSegment creates a fresh segment file with its header written
+// (not yet fsynced — the header becomes durable with the first synced
+// append; a header torn by a crash before that provably precedes any
+// acknowledged record and is reinitialized on Open).
+func createSegment(dir string, shard int, seq uint64) (*segment, error) {
+	path := filepath.Join(dir, segmentFileName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	if _, err := f.WriteAt(encodeSegmentHeader(shard, seq), 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("wal: write segment header %s: %w", path, err)
+	}
+	return &segment{f: f, path: path, seq: seq, size: int64(segHeaderSize), acked: int64(segHeaderSize)}, nil
+}
+
+// openSegment opens an existing segment file, validates its header, and
+// scans its record frames. It returns the decoded records, the valid
+// prefix length, and whether the scan ended before the file did (a torn
+// tail). A file too short to hold a header reports torn with zero
+// records — the caller reinitializes or discards it.
+func openSegment(path string, shard int, seq uint64) (f *os.File, recs []Record, valid int64, torn bool, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, false, fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, false, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if info.Size() < int64(segHeaderSize) {
+		// Torn header: the crash hit during the segment's very first
+		// write, before any frame could exist.
+		return f, nil, 0, true, nil
+	}
+	hdr := make([]byte, segHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, false, fmt.Errorf("wal: read header %s: %w", path, err)
+	}
+	if err := decodeSegmentHeader(hdr, shard, seq); err != nil {
+		f.Close()
+		return nil, nil, 0, false, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	recs, valid = scanFrames(f, int64(segHeaderSize), info.Size())
+	return f, recs, valid, valid < info.Size(), nil
+}
+
+// scanFrames reads frames from start until end or the first damaged
+// frame, returning the decoded records and the byte offset of the valid
+// prefix. A damaged frame (short header, short payload, CRC mismatch,
+// undecodable payload, zero or oversized length) ends the scan without
+// error: everything at and beyond it is an unacknowledged tail.
+func scanFrames(r io.ReaderAt, start, end int64) ([]Record, int64) {
+	var recs []Record
+	off := start
+	fh := make([]byte, frameHeaderSize)
+	for {
+		if off+frameHeaderSize > end {
+			return recs, off
+		}
+		if _, err := r.ReadAt(fh, off); err != nil {
+			return recs, off
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxRecordSize || off+frameHeaderSize+int64(n) > end {
+			return recs, off
+		}
+		payload := make([]byte, n)
+		if _, err := r.ReadAt(payload, off+frameHeaderSize); err != nil {
+			return recs, off
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+// listSegments enumerates dir's segment files in ascending sequence
+// order. Unrelated files are rejected — a foreign file inside a WAL
+// directory is an operator error worth refusing over.
+func listSegments(dir string) ([]sealedSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	var segs []sealedSegment
+	for _, e := range entries {
+		seq, ok := parseSegmentFileName(e.Name())
+		if !ok {
+			return nil, fmt.Errorf("wal: %s: unexpected file %q in WAL directory", dir, e.Name())
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: stat %s: %w", e.Name(), err)
+		}
+		segs = append(segs, sealedSegment{path: filepath.Join(dir, e.Name()), seq: seq, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}

@@ -30,11 +30,16 @@
 // # Durability
 //
 // With Config.DataDir set the store is durable: each engine shard
-// appends every mutation to its own write-ahead log before applying it
-// (Config.Durability picks the fsync policy), Checkpoint persists a
-// snapshot and truncates the logs, and Open recovers a crashed store —
-// snapshot load plus parallel per-shard WAL tail replay — losing no
-// acknowledged mutation. See DESIGN.md §7.
+// appends every mutation to its own segmented write-ahead log before
+// applying it (Config.Durability picks the fsync policy; under Always,
+// each log group-commits concurrent appenders), Checkpoint rotates
+// the logs to fresh segments under the shard locks, persists the
+// snapshot outside them, and retires the covered segments — writers
+// proceed for the whole encode. Checkpoints run explicitly, and
+// automatically when the live WAL outgrows Config.CheckpointBytes.
+// Open recovers a crashed store — snapshot load plus parallel
+// per-shard WAL tail replay — losing no acknowledged mutation. See
+// DESIGN.md §7.
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory and experiment index.
@@ -43,6 +48,7 @@ package smartstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -149,6 +155,17 @@ type Config struct {
 	// SyncInterval is the background fsync period under
 	// DurabilityInterval (0 → 100ms).
 	SyncInterval time.Duration
+	// CheckpointBytes, when positive, triggers a checkpoint whenever the
+	// live write-ahead logs (summed across shards, WALSizes) outgrow it
+	// — bounding both recovery replay time and disk growth between
+	// periodic checkpoints. 0 (the default) disables size-triggered
+	// checkpoints.
+	CheckpointBytes int64
+	// WALSegmentBytes is the rotation capacity of each shard's WAL
+	// segments (0 → the wal package default, 1 MiB). Smaller segments
+	// retire more promptly after a checkpoint; larger ones rotate less
+	// often.
+	WALSegmentBytes int64
 }
 
 // engineConfig maps the public configuration onto the engine layer's.
@@ -192,13 +209,19 @@ type Store struct {
 	eng *engine.Engine
 
 	// Durable-deployment state (nil/zero without Config.DataDir): one
-	// write-ahead log per shard, the background fsync loop under
-	// DurabilityInterval, and close-once bookkeeping.
-	logs      []*wal.Log
-	syncStop  chan struct{}
-	syncDone  chan struct{}
-	closeOnce sync.Once
-	closeErr  error
+	// segmented write-ahead log per shard, the background fsync loop
+	// under DurabilityInterval, the WAL-size-triggered checkpoint loop
+	// under Config.CheckpointBytes, and close-once bookkeeping.
+	logs                   []*wal.Log
+	syncStop               chan struct{}
+	syncDone               chan struct{}
+	ckptKick               chan struct{}
+	ckptStop               chan struct{}
+	ckptDone               chan struct{}
+	autoCheckpoints        atomic.Uint64
+	autoCheckpointFailures atomic.Uint64
+	closeOnce              sync.Once
+	closeErr               error
 }
 
 // Epoch returns the store's composed mutation epoch: the sum of the
@@ -295,6 +318,7 @@ func (s *Store) InsertBatch(files []*File) (QueryReport, error) {
 	if err != nil {
 		return QueryReport{}, fmt.Errorf("smartstore: %w", err)
 	}
+	s.noteMutation()
 	return fromEngineReport(rep), nil
 }
 
@@ -309,6 +333,7 @@ func (s *Store) Delete(id uint64) (QueryReport, bool, error) {
 	if err != nil {
 		return QueryReport{}, false, fmt.Errorf("smartstore: %w", err)
 	}
+	s.noteMutation()
 	return fromEngineReport(rep), found, nil
 }
 
@@ -321,6 +346,7 @@ func (s *Store) Modify(f *File) (QueryReport, bool, error) {
 	if err != nil {
 		return QueryReport{}, false, fmt.Errorf("smartstore: %w", err)
 	}
+	s.noteMutation()
 	return fromEngineReport(rep), found, nil
 }
 
@@ -335,6 +361,7 @@ func (s *Store) Flush() error {
 	if err := s.eng.Flush(); err != nil {
 		return fmt.Errorf("smartstore: %w", err)
 	}
+	s.noteMutation()
 	return nil
 }
 
