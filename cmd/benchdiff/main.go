@@ -35,6 +35,9 @@ type benchResult struct {
 	Shards     int                `json:"shards"`
 	Throughput float64            `json:"throughput_ops_per_sec"`
 	PerOp      map[string]opStats `json:"per_op"`
+	// ServerPerOp is the daemon's own latency view (smartbench
+	// -scrape); gated like PerOp when both reports carry it.
+	ServerPerOp map[string]opStats `json:"server_per_op"`
 }
 
 // benchReport mirrors the smartbench -json envelope.
@@ -101,6 +104,24 @@ func compare(base, head benchReport, maxRegress, minMs float64) (comps []compari
 		for op := range br.PerOp {
 			if !headSeen[fmt.Sprintf("%d/%s", hr.Shards, op)] {
 				unmatched = append(unmatched, fmt.Sprintf("shards=%d op=%s only in base", hr.Shards, op))
+			}
+		}
+		// The daemon-observed view gates only when both reports carry it
+		// (a base report predating -scrape must not trip unmatched
+		// warnings), and pairs op-by-op like the client view.
+		if len(hr.ServerPerOp) > 0 && len(br.ServerPerOp) > 0 {
+			for op, hs := range hr.ServerPerOp {
+				bs, ok := br.ServerPerOp[op]
+				if !ok {
+					continue
+				}
+				c := comparison{Shards: hr.Shards, Op: "server/" + op, BaseP95: bs.P95Ms, HeadP95: hs.P95Ms}
+				if bs.P95Ms > 0 {
+					c.Delta = hs.P95Ms/bs.P95Ms - 1
+				}
+				c.Gated = bs.P95Ms >= minMs || hs.P95Ms >= minMs
+				c.RegressK = c.Gated && bs.P95Ms > 0 && hs.P95Ms > bs.P95Ms*(1+maxRegress)
+				comps = append(comps, c)
 			}
 		}
 	}

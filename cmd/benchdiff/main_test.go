@@ -71,3 +71,45 @@ func TestCompareReportsUnmatched(t *testing.T) {
 		t.Fatalf("unmatched = %v, want 3 entries", unmatched)
 	}
 }
+
+func TestCompareGatesServerView(t *testing.T) {
+	mk := func(clientP95, serverP95 float64) benchReport {
+		return benchReport{Results: []benchResult{{
+			Shards:      1,
+			PerOp:       map[string]opStats{"range": {Count: 100, P95Ms: clientP95}},
+			ServerPerOp: map[string]opStats{"range": {Count: 100, P95Ms: serverP95}},
+		}}}
+	}
+	// Client view flat, server view +60%: the daemon-observed pair must
+	// fail the gate on its own.
+	comps, unmatched := compare(mk(5, 2), mk(5, 3.2), 0.25, 1.0)
+	if len(unmatched) != 0 {
+		t.Fatalf("unexpected unmatched: %v", unmatched)
+	}
+	got := map[string]bool{}
+	for _, c := range comps {
+		got[c.Op] = c.RegressK
+	}
+	if got["range"] {
+		t.Fatal("flat client pair flagged")
+	}
+	if !got["server/range"] {
+		t.Fatal("+60% server-side p95 not flagged")
+	}
+
+	// A base report without server_per_op (predates -scrape) gates only
+	// the client view — no comparisons, no unmatched spam.
+	old := benchReport{Results: []benchResult{{
+		Shards: 1,
+		PerOp:  map[string]opStats{"range": {Count: 100, P95Ms: 5}},
+	}}}
+	comps, unmatched = compare(old, mk(5, 9), 0.25, 1.0)
+	if len(unmatched) != 0 {
+		t.Fatalf("unexpected unmatched: %v", unmatched)
+	}
+	for _, c := range comps {
+		if c.Op == "server/range" {
+			t.Fatal("server pair compared against a report lacking server_per_op")
+		}
+	}
+}

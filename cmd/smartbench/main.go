@@ -47,6 +47,8 @@ func main() {
 	cacheEntries := flag.Int("cache", 4096, "service bench: in-process server cache entries")
 	shardList := flag.String("shards", "1", "service bench: comma-separated shard counts, one pass each (e.g. 1,4)")
 	jsonOut := flag.String("json", "", "service bench: write machine-readable results (throughput, p50/p95/p99) to this file")
+	scrape := flag.Bool("scrape", false, "service bench: scrape the daemon's /v1/metrics and fold its server-side per-op latency into the report")
+	noMetrics := flag.Bool("no-metrics", false, "service bench: build the in-process server with instrumentation disabled — the baseline for the overhead comparison")
 	flag.Parse()
 
 	if *serve || *remote != "" {
@@ -56,17 +58,19 @@ func main() {
 			os.Exit(2)
 		}
 		o := serveBenchOpts{
-			remote:   *remote,
-			trace:    *benchTrace,
-			files:    orDefault(*baseFiles, 20000),
-			units:    orDefault(*units, 60),
-			shards:   shards,
-			seed:     *seed,
-			clients:  *clients,
-			ops:      *ops,
-			mutate:   *mutate,
-			cache:    *cacheEntries,
-			jsonPath: *jsonOut,
+			remote:    *remote,
+			trace:     *benchTrace,
+			files:     orDefault(*baseFiles, 20000),
+			units:     orDefault(*units, 60),
+			shards:    shards,
+			seed:      *seed,
+			clients:   *clients,
+			ops:       *ops,
+			mutate:    *mutate,
+			cache:     *cacheEntries,
+			jsonPath:  *jsonOut,
+			scrape:    *scrape,
+			noMetrics: *noMetrics,
 		}
 		if o.seed == 0 {
 			o.seed = 42

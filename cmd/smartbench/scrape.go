@@ -1,0 +1,112 @@
+// Server-side latency scraping for the service bench (-scrape): the
+// client-observed percentiles in the report include the HTTP round
+// trip, while the daemon's own histograms isolate serving-layer time.
+// Folding a scrape delta into the JSON report lets benchdiff gate on
+// daemon-observed p95 as well as the client view.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+)
+
+// histScrape is one histogram's state at scrape time: cumulative
+// bucket counts keyed by upper bound, plus sum and count.
+type histScrape struct {
+	buckets map[float64]float64
+	sum     float64
+	count   float64
+}
+
+// scrapeServerHists fetches /v1/metrics and extracts the per-op
+// serving histograms: the per-kind query durations plus the insert
+// endpoint's request duration, keyed by the bench's op names.
+func scrapeServerHists(cl *client.Client) (map[string]histScrape, error) {
+	text, err := cl.Metrics()
+	if err != nil {
+		return nil, err
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		return nil, fmt.Errorf("parsing /v1/metrics: %w", err)
+	}
+	out := map[string]histScrape{}
+	collect := func(famName, labelKey, labelVal, op string) {
+		fam := obs.FindFamily(fams, famName)
+		if fam == nil {
+			return
+		}
+		h := histScrape{buckets: map[float64]float64{}}
+		for _, s := range fam.Samples {
+			if s.Labels[labelKey] != labelVal {
+				continue
+			}
+			switch s.Name {
+			case famName + "_bucket":
+				// ParseFloat accepts "+Inf", so the overflow bucket
+				// lands on the math.Inf(1) key.
+				if le, err := strconv.ParseFloat(s.Labels["le"], 64); err == nil {
+					h.buckets[le] = s.Value
+				}
+			case famName + "_sum":
+				h.sum = s.Value
+			case famName + "_count":
+				h.count = s.Value
+			}
+		}
+		out[op] = h
+	}
+	for _, kind := range []string{"point", "range", "topk", "batch"} {
+		collect("smartstore_query_duration_seconds", "kind", kind, kind)
+	}
+	collect("smartstore_http_request_duration_seconds", "endpoint", "insert", "insert")
+	return out, nil
+}
+
+// serverPerOp folds the before/after scrape delta of one bench pass
+// into per-op stats (milliseconds, like the client-side view). Ops the
+// pass never issued are dropped.
+func serverPerOp(before, after map[string]histScrape) map[string]opStats {
+	out := map[string]opStats{}
+	for op, a := range after {
+		b := before[op]
+		count := a.count - b.count
+		if count <= 0 {
+			continue
+		}
+		// Delta of cumulative buckets is itself a valid cumulative
+		// histogram: both scrapes share the registry's fixed bounds.
+		var buckets []obs.Sample
+		for le, cum := range a.buckets {
+			d := cum - b.buckets[le]
+			if d < 0 {
+				d = 0
+			}
+			buckets = append(buckets, obs.Sample{
+				Labels: map[string]string{"le": formatLe(le)},
+				Value:  d,
+			})
+		}
+		toMs := func(sec float64) float64 { return sec * 1e3 }
+		out[op] = opStats{
+			Count:  int(count),
+			MeanMs: toMs((a.sum - b.sum) / count),
+			P50Ms:  toMs(obs.BucketQuantile(buckets, 0.50)),
+			P95Ms:  toMs(obs.BucketQuantile(buckets, 0.95)),
+			P99Ms:  toMs(obs.BucketQuantile(buckets, 0.99)),
+		}
+	}
+	return out
+}
+
+func formatLe(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}

@@ -36,17 +36,19 @@ import (
 
 // serveBenchOpts collects the load-generator flags.
 type serveBenchOpts struct {
-	remote   string // daemon address; empty = start in-process
-	trace    string
-	files    int
-	units    int
-	shards   []int // in-process shard counts, one bench pass each
-	seed     uint64
-	clients  int
-	ops      int
-	mutate   float64 // fraction of operations that are inserts
-	cache    int
-	jsonPath string // write machine-readable results here ("" = skip)
+	remote    string // daemon address; empty = start in-process
+	trace     string
+	files     int
+	units     int
+	shards    []int // in-process shard counts, one bench pass each
+	seed      uint64
+	clients   int
+	ops       int
+	mutate    float64 // fraction of operations that are inserts
+	cache     int
+	jsonPath  string // write machine-readable results here ("" = skip)
+	scrape    bool   // fold the daemon's own histograms into the report
+	noMetrics bool   // in-process server with instrumentation disabled (overhead baseline)
 }
 
 type opSample struct {
@@ -77,6 +79,11 @@ type benchResult struct {
 	Throughput float64            `json:"throughput_ops_per_sec"`
 	Errors     int                `json:"errors"`
 	PerOp      map[string]opStats `json:"per_op"`
+	// ServerPerOp is the daemon's own view of the same pass (-scrape):
+	// per-op latency from the server-side histograms, HTTP round trip
+	// excluded. Quantiles are bucket-interpolated, so coarser than the
+	// client-side exact percentiles.
+	ServerPerOp map[string]opStats `json:"server_per_op,omitempty"`
 }
 
 // benchReport is the -json envelope.
@@ -108,6 +115,10 @@ func parseShardList(s string) ([]int, error) {
 // runServiceBench drives the closed loop — one pass per shard count —
 // and prints the report. It returns a process exit code.
 func runServiceBench(o serveBenchOpts) int {
+	if o.scrape && o.noMetrics {
+		fmt.Fprintln(os.Stderr, "smartbench: -scrape needs the metrics endpoint; drop -no-metrics")
+		return 2
+	}
 	set, err := smartstore.GenerateTrace(o.trace, o.files, o.seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smartbench:", err)
@@ -163,7 +174,10 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 			fmt.Fprintln(os.Stderr, "smartbench:", err)
 			return benchResult{Shards: shards}, 1
 		}
-		srv := &http.Server{Handler: server.New(store, server.Options{CacheEntries: o.cache})}
+		srv := &http.Server{Handler: server.New(store, server.Options{
+			CacheEntries:   o.cache,
+			DisableMetrics: o.noMetrics,
+		})}
 		go srv.Serve(ln)
 		addr = ln.Addr().String()
 		shutdown = func() { srv.Close() }
@@ -182,6 +196,17 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 	if !cl.Healthy() {
 		fmt.Fprintf(os.Stderr, "smartbench: no healthy smartstored at %s\n", addr)
 		return benchResult{Shards: shards}, 1
+	}
+
+	// Pre-pass scrape: the per-op server view is the delta across the
+	// pass, so a long-lived remote daemon's prior traffic drops out.
+	var preScrape map[string]histScrape
+	if o.scrape {
+		var err error
+		if preScrape, err = scrapeServerHists(cl); err != nil {
+			fmt.Fprintf(os.Stderr, "smartbench: -scrape: %v\n", err)
+			return benchResult{Shards: shards}, 1
+		}
 	}
 
 	// Closed loop: o.clients workers issue operations back-to-back until
@@ -213,6 +238,14 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 		}
 	}
 	res := summarize(all, wall, o, shards, errs)
+	if o.scrape {
+		post, err := scrapeServerHists(cl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smartbench: -scrape: %v\n", err)
+			return res, 1
+		}
+		res.ServerPerOp = serverPerOp(preScrape, post)
+	}
 	printServiceReport(res, all, wall, o, cl)
 	// Failed operations fail the run — CI uses this mode as a smoke
 	// gate on the serving path, so a broken endpoint must not exit 0.
@@ -350,6 +383,17 @@ func printServiceReport(res benchResult, all []opSample, wall time.Duration, o s
 		}
 		fmt.Printf("%-8s %8d %6d %8d %10.3f %10.3f %10.3f %10.3f\n",
 			op, st.Count, st.Errors, st.Cached, st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	if len(res.ServerPerOp) > 0 {
+		fmt.Printf("server-side view (scraped from /v1/metrics, bucket-interpolated):\n")
+		for _, op := range []string{"point", "range", "topk", "batch", "insert"} {
+			st, ok := res.ServerPerOp[op]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8s %8d %6s %8s %10.3f %10.3f %10.3f %10.3f\n",
+				op, st.Count, "-", "-", st.MeanMs, st.P50Ms, st.P95Ms, st.P99Ms)
+		}
 	}
 	if st, err := cl.Stats(); err == nil {
 		c := st.Server.Cache

@@ -22,11 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	smartstore "repro"
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -55,6 +58,9 @@ func main() {
 		fatal(err)
 	}
 
+	if args[0] == "metrics" && *remote == "" {
+		fatal(fmt.Errorf("the metrics verb reads a daemon's /v1/metrics; it needs -remote"))
+	}
 	if *remote != "" {
 		runRemote(*remote, args, opts)
 		return
@@ -179,12 +185,31 @@ func printLocal(q smartstore.Query, res smartstore.Result) {
 // unified /v1/query endpoint.
 func runRemote(addr string, args []string, opts smartstore.QueryOptions) {
 	cl := client.New(addr)
+	if args[0] == "metrics" {
+		printMetrics(cl)
+		return
+	}
 	if args[0] == "stats" {
 		st, err := cl.Stats()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("remote        %s (epoch %d)\n", addr, st.Store.Epoch)
+		if st.Build.GoVersion != "" {
+			ver := st.Build.Version
+			if ver == "" {
+				ver = "(devel)"
+			}
+			fmt.Printf("build         %s %s", ver, st.Build.GoVersion)
+			if st.Build.Revision != "" {
+				dirty := ""
+				if st.Build.Dirty {
+					dirty = "+dirty"
+				}
+				fmt.Printf(" rev %.12s%s", st.Build.Revision, dirty)
+			}
+			fmt.Println()
+		}
 		fmt.Printf("files         %d\n", st.Store.Files)
 		fmt.Printf("storage units %d\n", st.Store.Units)
 		fmt.Printf("index units   %d\n", st.Store.IndexUnits)
@@ -302,6 +327,7 @@ func usage() {
   smartctl [flags] point <path>
   smartctl [flags] range attr=lo:hi [attr=lo:hi ...]
   smartctl [flags] topk <k> attr=value [attr=value ...]
+  smartctl -remote host:port metrics
 
 query option flags (local and -remote):
   -records      inline full file records in the answer
@@ -316,4 +342,110 @@ attributes: size ctime mtime atime read_bytes write_bytes access_freq
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smartctl:", err)
 	os.Exit(1)
+}
+
+// printMetrics fetches /v1/metrics and renders it human-readably:
+// counters and gauges as name{labels} value, histograms folded to
+// count / mean / p50 / p95 / p99.
+func printMetrics(cl *client.Client) {
+	text, err := cl.Metrics()
+	if err != nil {
+		fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		fatal(fmt.Errorf("parsing /v1/metrics exposition: %w", err))
+	}
+	for _, fam := range fams {
+		switch fam.Type {
+		case "histogram":
+			printHistogramFamily(fam)
+		default:
+			for _, s := range fam.Samples {
+				fmt.Printf("%-52s %g\n", s.Name+labelSuffix(s.Labels), s.Value)
+			}
+		}
+	}
+}
+
+// printHistogramFamily renders one histogram family, one line per
+// label set.
+func printHistogramFamily(fam obs.Family) {
+	// Group samples by label set, keeping first-seen order.
+	type group struct {
+		key     string
+		buckets []obs.Sample
+		sum     float64
+		count   float64
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, s := range fam.Samples {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if !(s.Name == fam.Name+"_bucket" && k == "le") {
+				labels[k] = v
+			}
+		}
+		key := labelSuffix(labels)
+		g := groups[key]
+		if g == nil {
+			g = &group{key: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		switch s.Name {
+		case fam.Name + "_bucket":
+			g.buckets = append(g.buckets, s)
+		case fam.Name + "_sum":
+			g.sum = s.Value
+		case fam.Name + "_count":
+			g.count = s.Value
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		if g.count == 0 {
+			fmt.Printf("%-52s count 0\n", fam.Name+g.key)
+			continue
+		}
+		fmt.Printf("%-52s count %.0f mean %s p50 %s p95 %s p99 %s\n",
+			fam.Name+g.key, g.count,
+			histVal(fam.Name, g.sum/g.count),
+			histVal(fam.Name, obs.BucketQuantile(g.buckets, 0.50)),
+			histVal(fam.Name, obs.BucketQuantile(g.buckets, 0.95)),
+			histVal(fam.Name, obs.BucketQuantile(g.buckets, 0.99)))
+	}
+}
+
+// histVal renders a histogram statistic: families named *_seconds are
+// durations, anything else is a plain number.
+func histVal(famName string, v float64) string {
+	if strings.HasSuffix(famName, "_seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// labelSuffix renders a label map as {k="v",...} sorted by key, or ""
+// when empty.
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
 }

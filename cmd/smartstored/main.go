@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,6 +71,10 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "periodic snapshot+WAL-truncation period with -data-dir (0 disables)")
 	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "checkpoint when the live WAL (summed across shards) outgrows this many bytes (0 disables size-triggered checkpoints)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "rotate each shard's WAL to a fresh segment past this many bytes (0 = 64 MiB default)")
+	metricsOn := flag.Bool("metrics", true, "expose Prometheus metrics at /v1/metrics")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (off by default; enables remote profiling)")
+	slowQuery := flag.Duration("slow-query", 0, "log any request slower than this with its per-phase breakdown (0 disables)")
 	flag.Parse()
 
 	store, desc, err := bootstrap(bootstrapOpts{
@@ -88,23 +93,40 @@ func main() {
 		fsync:           *fsyncPolicy,
 		fsyncInterval:   *fsyncInterval,
 		checkpointBytes: *checkpointBytes,
+		walSegmentBytes: *walSegmentBytes,
 	})
 	if err != nil {
 		log.Fatalf("smartstored: %v", err)
 	}
 
 	srv := server.New(store, server.Options{
-		CacheEntries: *cacheEntries,
-		Workers:      *workers,
-		MaxQueue:     *queue,
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		MaxQueue:       *queue,
+		DisableMetrics: !*metricsOn,
+		SlowQuery:      *slowQuery,
 	})
+	var handler http.Handler = srv
+	if *pprofOn {
+		// pprof stays opt-in: it exposes heap contents and stack traces,
+		// so it must never ride along silently on a production port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Print("smartstored: pprof enabled under /debug/pprof/")
+	}
 	st := store.Stats()
 	log.Printf("smartstored: %s — %d files in %d units across %d shards (%d index units, height %d)",
 		desc, st.Files, st.Units, st.Shards, st.IndexUnits, st.TreeHeight)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -180,6 +202,7 @@ type bootstrapOpts struct {
 	fsync                    string
 	fsyncInterval            time.Duration
 	checkpointBytes          int64
+	walSegmentBytes          int64
 }
 
 // bootstrap builds the store: recovered from an initialized data dir,
@@ -212,6 +235,7 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 		Durability:      durability,
 		SyncInterval:    o.fsyncInterval,
 		CheckpointBytes: o.checkpointBytes,
+		WALSegmentBytes: o.walSegmentBytes,
 	}
 
 	if o.dataDir != "" && smartstore.DataDirInitialized(o.dataDir) {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -200,6 +201,25 @@ func (c *Client) Stats() (*server.StatsResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from
+// /v1/metrics. Callers that want structured values feed the result to
+// obs.ParsePrometheus.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("client: /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /v1/metrics: %s", resp.Status)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return "", fmt.Errorf("client: reading /v1/metrics: %w", err)
+	}
+	return b.String(), nil
 }
 
 // Healthy reports whether the daemon answers its health check.

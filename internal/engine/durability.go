@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/wal"
 )
@@ -198,6 +200,7 @@ func (e *Engine) Checkpoint(write func(*snapshot.Snapshot) error) error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
+	lockStart := time.Now()
 	for _, s := range e.shards {
 		s.mu.RLock()
 	}
@@ -216,16 +219,23 @@ func (e *Engine) Checkpoint(write func(*snapshot.Snapshot) error) error {
 	for _, s := range e.shards {
 		s.mu.RUnlock()
 	}
+	e.observeCkptPhase(func(o *Obs) *obs.Histogram { return o.CkptLockNs }, time.Since(lockStart))
 	if rotErr != nil {
 		// Shards rotated before the failure keep their sealed segments;
 		// recovery replays them and the next checkpoint retires them.
 		return rotErr
 	}
 
+	persistStart := time.Now()
 	if err := write(snap); err != nil {
 		return err
 	}
+	e.observeCkptPhase(func(o *Obs) *obs.Histogram { return o.CkptPersistNs }, time.Since(persistStart))
 
+	retireStart := time.Now()
+	defer func() {
+		e.observeCkptPhase(func(o *Obs) *obs.Histogram { return o.CkptRetireNs }, time.Since(retireStart))
+	}()
 	for i, s := range e.shards {
 		if s.log == nil {
 			continue

@@ -115,6 +115,11 @@ type Engine struct {
 	// checkpoints could otherwise cross their rotation boundaries and
 	// deferred deletions.
 	ckptMu sync.Mutex
+
+	// obsv is the optional metric sink (observe.go), attached by the
+	// store facade after the serving layer builds its registry. Atomic
+	// so attachment never races an in-flight query.
+	obsv atomic.Pointer[Obs]
 }
 
 // seedFor derives shard i's deterministic cluster seed. Shard 0 keeps
@@ -412,6 +417,14 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 		}(i, idx)
 	}
 	wg.Wait()
+
+	if o := e.obsv.Load(); o != nil {
+		for idx, batch := range batches {
+			if idx < len(o.ShardInserts) && o.ShardInserts[idx] != nil {
+				o.ShardInserts[idx].Add(uint64(len(batch)))
+			}
+		}
+	}
 
 	var total Report
 	for i, res := range results {

@@ -85,6 +85,7 @@ func (e *Engine) allShards() []int {
 // abandon the wait) and its error is returned. A single target runs
 // inline with the caller's context untouched.
 func (e *Engine) fanout(ctx context.Context, targets []int, run func(ctx context.Context, s *Shard) (answer, error)) ([]answer, error) {
+	run = e.observedRun(ctx, run)
 	if len(targets) == 1 {
 		a, err := run(ctx, e.shards[targets[0]])
 		if err != nil {

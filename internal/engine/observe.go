@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Obs is the engine's metric sink, attached by the store facade once
+// the serving layer has built its registry (SetObs). Fields may be nil
+// individually; a nil sink (the default) keeps the query and mutation
+// paths free of any instrumentation beyond one atomic load.
+type Obs struct {
+	// ShardQueryNs is the per-shard query execution wall time — one
+	// observation per shard per fan-out, so tail skew across shards is
+	// visible, not averaged away.
+	ShardQueryNs *obs.Histogram
+	// ShardsVisited / ShardsPruned count fan-out outcomes per shard:
+	// pruned means the shard's root MBR or Bloom filter rejected the
+	// query without touching the tree. Pruned/(Visited+Pruned) is the
+	// shard-level pruning effectiveness.
+	ShardsVisited *obs.Counter
+	ShardsPruned  *obs.Counter
+	// ShardInserts[i] counts files the placement routed to shard i —
+	// the insert-placement distribution skew feeds future rebalancing.
+	ShardInserts []*obs.Counter
+	// Checkpoint phase durations, matching the three phases of
+	// Engine.Checkpoint: lock (capture+rotate under the all-shard read
+	// locks), persist (snapshot encode+fsync outside the locks), retire
+	// (deferred sealed-segment deletion).
+	CkptLockNs    *obs.Histogram
+	CkptPersistNs *obs.Histogram
+	CkptRetireNs  *obs.Histogram
+}
+
+// SetObs attaches (or replaces) the engine's metric sink. Safe to call
+// while queries are in flight.
+func (e *Engine) SetObs(o *Obs) { e.obsv.Store(o) }
+
+// observedRun wraps a fan-out's per-shard run function with shard-level
+// timing when a metric sink is attached or the context carries a query
+// trace; otherwise it returns run unchanged.
+func (e *Engine) observedRun(ctx context.Context, run func(ctx context.Context, s *Shard) (answer, error)) func(ctx context.Context, s *Shard) (answer, error) {
+	o := e.obsv.Load()
+	tr := obs.TraceFrom(ctx)
+	if o == nil && tr == nil {
+		return run
+	}
+	return func(ctx context.Context, s *Shard) (answer, error) {
+		start := time.Now()
+		a, err := run(ctx, s)
+		if err != nil {
+			return a, err
+		}
+		d := time.Since(start)
+		if o != nil {
+			if o.ShardQueryNs != nil {
+				o.ShardQueryNs.Observe(uint64(d))
+			}
+			if a.pruned {
+				if o.ShardsPruned != nil {
+					o.ShardsPruned.Inc()
+				}
+			} else if o.ShardsVisited != nil {
+				o.ShardsVisited.Inc()
+			}
+		}
+		tr.AddShard(s.id, d, a.pruned)
+		return a, nil
+	}
+}
+
+// observeCkptPhase records one checkpoint phase duration.
+func (e *Engine) observeCkptPhase(h func(*Obs) *obs.Histogram, d time.Duration) {
+	o := e.obsv.Load()
+	if o == nil {
+		return
+	}
+	if hist := h(o); hist != nil {
+		hist.Observe(uint64(d))
+	}
+}

@@ -32,6 +32,8 @@ import (
 
 	smartstore "repro"
 	"repro/internal/metadata"
+	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 // Options parameterizes a Server. The zero value selects defaults.
@@ -45,6 +47,14 @@ type Options struct {
 	// MaxQueue bounds requests waiting for a worker slot; 0 selects
 	// 8×Workers. Waiters beyond the bound are rejected with 503.
 	MaxQueue int
+	// DisableMetrics drops the metrics registry entirely: /v1/metrics
+	// is not routed and every instrumentation hook short-circuits on a
+	// nil check — the baseline half of the overhead comparison gate.
+	DisableMetrics bool
+	// SlowQuery, when positive, logs any served request whose total
+	// wall time (admission wait included) exceeds it, with its full
+	// phase breakdown.
+	SlowQuery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +93,11 @@ type Server struct {
 	// costs no concurrency. nextID is only touched under insMu.
 	insMu  sync.Mutex
 	nextID uint64
+
+	// metrics is the serving layer's registry and hot-path sinks
+	// (metrics.go); nil when Options.DisableMetrics is set.
+	metrics *serverMetrics
+	build   version.BuildInfo
 }
 
 // New builds a Server over store. Fresh ids for inserts without one are
@@ -100,16 +115,22 @@ func New(store *smartstore.Store, opts Options) *Server {
 		s.cache = newQueryCache(opts.CacheEntries)
 	}
 	s.nextID = store.MaxFileID()
+	s.build = version.Build()
+	if !opts.DisableMetrics {
+		s.metrics = newServerMetrics(s)
+		store.Instrument(s.metrics.reg)
+		s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	}
 
-	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery))
-	s.mux.HandleFunc("POST /v1/query/point", s.admitted(s.handlePoint))
-	s.mux.HandleFunc("POST /v1/query/range", s.admitted(s.handleRange))
-	s.mux.HandleFunc("POST /v1/query/topk", s.admitted(s.handleTopK))
-	s.mux.HandleFunc("POST /v1/insert", s.admitted(s.handleInsert))
-	s.mux.HandleFunc("POST /v1/delete", s.admitted(s.handleDelete))
-	s.mux.HandleFunc("POST /v1/modify", s.admitted(s.handleModify))
-	s.mux.HandleFunc("POST /v1/flush", s.admitted(s.handleFlush))
-	s.mux.HandleFunc("GET /v1/stats", s.admitted(s.handleStats))
+	s.mux.HandleFunc("POST /v1/query", s.admitted("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/query/point", s.admitted("point", s.handlePoint))
+	s.mux.HandleFunc("POST /v1/query/range", s.admitted("range", s.handleRange))
+	s.mux.HandleFunc("POST /v1/query/topk", s.admitted("topk", s.handleTopK))
+	s.mux.HandleFunc("POST /v1/insert", s.admitted("insert", s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.admitted("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/modify", s.admitted("modify", s.handleModify))
+	s.mux.HandleFunc("POST /v1/flush", s.admitted("flush", s.handleFlush))
+	s.mux.HandleFunc("GET /v1/stats", s.admitted("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -137,11 +158,14 @@ func (s *Server) admit(r *http.Request) (release func(), err error) {
 	}
 }
 
-// admitted wraps a handler with admission control, request accounting
-// and error mapping.
-func (s *Server) admitted(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+// admitted wraps a handler with admission control, request accounting,
+// instrumentation (per-endpoint counters and latency, admission wait,
+// trace capture, slow-query logging) and error mapping.
+func (s *Server) admitted(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		s.metrics.observeEndpoint(endpoint)
+		start := time.Now()
 		release, err := s.admit(r)
 		if err != nil {
 			s.rejected.Add(1)
@@ -154,7 +178,23 @@ func (s *Server) admitted(h func(w http.ResponseWriter, r *http.Request) error) 
 			}
 			return
 		}
-		defer release()
+		wait := time.Since(start)
+		s.metrics.observeAdmissionWait(wait)
+		var tr *obs.QueryTrace
+		if s.opts.SlowQuery > 0 || r.Header.Get(TraceHeader) != "" {
+			var ctx context.Context
+			ctx, tr = obs.WithTrace(r.Context())
+			tr.AddPhase("admission_wait", wait)
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			release()
+			total := time.Since(start)
+			s.metrics.observeDuration(endpoint, total)
+			if s.opts.SlowQuery > 0 && total >= s.opts.SlowQuery {
+				s.logSlow(endpoint, total, tr)
+			}
+		}()
 		if err := h(w, r); err != nil {
 			var bad badRequestError
 			switch {
@@ -223,7 +263,14 @@ func (s *Server) execQuery(ctx context.Context, q smartstore.Query) (QueryRespon
 	}
 	key := queryKey(q, s.resolveMode(q.Options.Mode))
 	epoch := s.store.Epoch()
-	if resp, ok := s.cache.get(key, epoch); ok {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		lookupStart := time.Now()
+		resp, ok := s.cache.get(key, epoch)
+		tr.AddPhase("cache_lookup", time.Since(lookupStart))
+		if ok {
+			return resp, nil
+		}
+	} else if resp, ok := s.cache.get(key, epoch); ok {
 		return resp, nil
 	}
 	resp, err := s.runQuery(ctx, q)
@@ -246,7 +293,15 @@ const maxCachedRecords = 1024
 
 // runQuery executes q against the store and shapes the wire response.
 func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryResponse, error) {
+	tr := obs.TraceFrom(ctx)
+	var execStart time.Time
+	if tr != nil {
+		execStart = time.Now()
+	}
 	res, err := s.store.Do(ctx, q)
+	if tr != nil {
+		tr.AddPhase("execute", time.Since(execStart))
+	}
 	if err != nil {
 		if errors.Is(err, smartstore.ErrInvalidQuery) {
 			return QueryResponse{}, badRequestError{err}
@@ -278,20 +333,27 @@ const maxBatchQueries = 256
 // included — runs under the single admission ticket the admitted
 // wrapper already granted; batch members execute concurrently.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	tr := obs.TraceFrom(r.Context())
+	decodeStart := time.Now()
 	var req QueryRequest
 	if err := decode(r, &req); err != nil {
 		return err
+	}
+	if tr != nil {
+		tr.AddPhase("decode", time.Since(decodeStart))
 	}
 	if len(req.Queries) == 0 {
 		q, err := req.WireQuery.Query()
 		if err != nil {
 			return badRequestError{err}
 		}
+		kindStart := time.Now()
 		resp, err := s.execQuery(r.Context(), q)
 		if err != nil {
 			return err
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.metrics.observeQuery(q.Kind.String(), time.Since(kindStart))
+		s.writeQueryResponse(w, r, resp)
 		return nil
 	}
 
@@ -309,6 +371,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		queries[i] = q
 	}
 	results := make([]QueryResponse, len(queries))
+	batchStart := time.Now()
 	var wg sync.WaitGroup
 	for i, q := range queries {
 		wg.Add(1)
@@ -322,6 +385,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		}(i, q)
 	}
 	wg.Wait()
+	s.metrics.observeQuery("batch", time.Since(batchStart))
 	writeJSON(w, http.StatusOK, BatchQueryResponse{Results: results})
 	return nil
 }
@@ -360,11 +424,13 @@ func (s *Server) serveShim(w http.ResponseWriter, r *http.Request, wq WireQuery)
 	if err != nil {
 		return badRequestError{err}
 	}
+	kindStart := time.Now()
 	resp, err := s.execQuery(r.Context(), q)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.metrics.observeQuery(q.Kind.String(), time.Since(kindStart))
+	s.writeQueryResponse(w, r, resp)
 	return nil
 }
 
@@ -506,6 +572,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Build: BuildWire{
+			GoVersion: s.build.GoVersion,
+			Module:    s.build.Module,
+			Version:   s.build.Version,
+			Revision:  s.build.Revision,
+			Dirty:     s.build.Dirty,
+		},
 		WAL: walStats,
 		Store: StoreStats{
 			Units:             st.Units,

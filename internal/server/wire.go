@@ -226,7 +226,36 @@ type QueryResponse struct {
 	Cached    bool         `json:"cached"`
 	Records   []FileRecord `json:"records,omitempty"`
 	Report    Report       `json:"report"`
-	Error     string       `json:"error,omitempty"`
+	// Trace is the per-phase timing breakdown, present only when the
+	// request carried the X-Smartstore-Trace header.
+	Trace *TraceWire `json:"trace,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// TraceWire is the inline wire form of a request trace: real wall
+// times of this request, not virtual-time accounting (that is Report).
+// Phases appear in serving order: admission_wait, decode, cache_lookup,
+// execute, merge (derived: execute minus the slowest shard), encode.
+type TraceWire struct {
+	// TotalMs is the request's total wall time, admission wait through
+	// response encode.
+	TotalMs float64     `json:"total_ms"`
+	Phases  []PhaseWire `json:"phases"`
+	Shards  []ShardWire `json:"shards,omitempty"`
+}
+
+// PhaseWire is one named serving phase.
+type PhaseWire struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
+}
+
+// ShardWire is one shard's share of the execute phase. A pruned shard
+// was rejected by its root MBR/Bloom filter without executing.
+type ShardWire struct {
+	Shard  int     `json:"shard"`
+	Ms     float64 `json:"ms"`
+	Pruned bool    `json:"pruned,omitempty"`
 }
 
 // InsertRequest inserts a batch of files in one admission.
@@ -334,6 +363,16 @@ type StatsResponse struct {
 	Store  StoreStats  `json:"store"`
 	Server ServerStats `json:"server"`
 	WAL    *WALStats   `json:"wal,omitempty"`
+	Build  BuildWire   `json:"build"`
+}
+
+// BuildWire identifies the serving binary.
+type BuildWire struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

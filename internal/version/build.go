@@ -1,0 +1,43 @@
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for /v1/stats: the Go
+// toolchain it was built with and the module version (VCS-stamped when
+// the build had one).
+type BuildInfo struct {
+	// GoVersion is the runtime's toolchain version.
+	GoVersion string
+	// Module is the main module path ("repro").
+	Module string
+	// Version is the main module version; "(devel)" for an unstamped
+	// source build.
+	Version string
+	// Revision and Dirty carry the VCS stamp when present.
+	Revision string
+	Dirty    bool
+}
+
+// Build reads the binary's embedded build information. Fields the
+// build did not stamp stay empty.
+func Build() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = bi.Main.Path
+	b.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}

@@ -1,0 +1,10 @@
+package version
+
+import "testing"
+
+func TestBuild(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Fatal("Build().GoVersion is empty")
+	}
+}

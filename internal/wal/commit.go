@@ -100,7 +100,7 @@ func (l *Log) commitBatch(n int) error {
 		// on storage where fsync outpaces the appenders.
 		h()
 	}
-	if err := seg.f.Sync(); err != nil {
+	if err := l.syncFile(seg.f); err != nil {
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		if l.err != nil {
@@ -113,6 +113,7 @@ func (l *Log) commitBatch(n int) error {
 			// every batched frame is already durable.
 			l.groupCommits.Add(1)
 			l.groupedRecords.Add(uint64(n))
+			l.observeGroupCommit(n)
 			return nil
 		}
 		// Genuine fsync failure: roll the segment back to the durable
@@ -137,6 +138,7 @@ func (l *Log) commitBatch(n int) error {
 	l.mu.Unlock()
 	l.groupCommits.Add(1)
 	l.groupedRecords.Add(uint64(n))
+	l.observeGroupCommit(n)
 	return nil
 }
 

@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observer is the set of metrics one log feeds, attached after Open by
+// the store facade (the logs exist before the serving layer builds its
+// registry). Any field may be nil; a nil Observer (the default) makes
+// every hook a single atomic load on the hot path. The histograms are
+// typically shared across every shard's log so the exposition shows
+// one distribution per subsystem, not one per shard.
+type Observer struct {
+	// AppendNs records full Append latency in nanoseconds, including
+	// the group-commit wait under SyncAlways.
+	AppendNs *obs.Histogram
+	// FsyncNs records the duration of each serving-path fsync (group
+	// commits, inline SyncAlways, periodic Sync, rotation seals);
+	// Fsyncs counts them.
+	FsyncNs *obs.Histogram
+	Fsyncs  *obs.Counter
+	// GroupBatch records how many appends each group fsync
+	// acknowledged — the achieved batching factor as a distribution.
+	GroupBatch *obs.Histogram
+}
+
+// SetObserver attaches (or replaces) the log's metrics sink. Safe to
+// call while appends are in flight.
+func (l *Log) SetObserver(o *Observer) { l.obsv.Store(o) }
+
+// syncFile fsyncs f, feeding the fsync metrics when an observer is
+// attached.
+func (l *Log) syncFile(f *os.File) error {
+	o := l.obsv.Load()
+	if o == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	if o.FsyncNs != nil {
+		o.FsyncNs.Observe(uint64(time.Since(start)))
+	}
+	if o.Fsyncs != nil {
+		o.Fsyncs.Inc()
+	}
+	return err
+}
+
+// observeGroupCommit feeds the batching-factor histogram after a group
+// fsync acknowledged n appends.
+func (l *Log) observeGroupCommit(n int) {
+	if o := l.obsv.Load(); o != nil && o.GroupBatch != nil {
+		o.GroupBatch.Observe(uint64(n))
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -125,6 +126,11 @@ type Log struct {
 	groupCommits   atomic.Uint64
 	groupedRecords atomic.Uint64
 	rotations      atomic.Uint64
+
+	// obsv is the optional metrics sink (observe.go), attached after
+	// Open by the store facade. Atomic so attachment never races an
+	// in-flight append.
+	obsv atomic.Pointer[Observer]
 }
 
 // Stats is a point-in-time operational summary of one shard's log.
@@ -261,6 +267,16 @@ func (l *Log) load() ([]Record, error) {
 // sticky-broken and refuses further appends — a silently replayable
 // unacknowledged record would be the dishonest alternative.
 func (l *Log) Append(rec *Record) error {
+	if o := l.obsv.Load(); o != nil && o.AppendNs != nil {
+		start := time.Now()
+		err := l.append(rec)
+		o.AppendNs.Observe(uint64(time.Since(start)))
+		return err
+	}
+	return l.append(rec)
+}
+
+func (l *Log) append(rec *Record) error {
 	payload, err := encodePayload(rec)
 	if err != nil {
 		return err
@@ -315,7 +331,7 @@ func (l *Log) Append(rec *Record) error {
 		// Ungrouped always-sync (benchmark baseline): pay the fsync
 		// inline, rolling the frame back on failure exactly like the
 		// pre-segmentation log.
-		if err := seg.f.Sync(); err != nil {
+		if err := l.syncFile(seg.f); err != nil {
 			seg.size -= int64(len(frame))
 			l.updateLiveLocked()
 			err = l.rollbackLocked(seg, err)
@@ -353,7 +369,7 @@ func (l *Log) rollbackLocked(seg *segment, cause error) error {
 func (l *Log) rotateLocked() error {
 	seg := l.active
 	if l.policy != SyncNever {
-		if err := seg.f.Sync(); err != nil {
+		if err := l.syncFile(seg.f); err != nil {
 			// Refuse to create a successor over an unsynced tail; the
 			// failed fsync leaves the page-cache state unknowable. Under
 			// group commit, frames beyond the durable watermark belong
@@ -458,7 +474,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return errClosed
 	}
-	if err := l.active.f.Sync(); err != nil {
+	if err := l.syncFile(l.active.f); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.active.path, err)
 	}
 	l.active.acked = l.active.size

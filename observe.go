@@ -1,0 +1,100 @@
+package smartstore
+
+import (
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Instrument attaches the store's metric sinks and registers its
+// families on reg. The serving layer calls it once when it builds its
+// registry; the store runs uninstrumented (and unmeasured — every hook
+// is a nil check) until then. Histograms are shared across shards so
+// the exposition shows one distribution per subsystem; per-shard skew
+// is carried by the labeled counters.
+func (s *Store) Instrument(reg *obs.Registry) {
+	eo := &engine.Obs{
+		ShardQueryNs:  &obs.Histogram{},
+		ShardsVisited: &obs.Counter{},
+		ShardsPruned:  &obs.Counter{},
+		ShardInserts:  make([]*obs.Counter, s.Shards()),
+		CkptLockNs:    &obs.Histogram{},
+		CkptPersistNs: &obs.Histogram{},
+		CkptRetireNs:  &obs.Histogram{},
+	}
+	reg.RegisterHistogram("smartstore_shard_query_duration_seconds", "",
+		"Per-shard query execution wall time, one observation per shard per fan-out.",
+		obs.ScaleNanos, eo.ShardQueryNs)
+	reg.RegisterCounter("smartstore_shards_visited_total", "",
+		"Fan-out shard visits that executed the query.", eo.ShardsVisited)
+	reg.RegisterCounter("smartstore_shards_pruned_total", "",
+		"Fan-out shard visits pruned by root MBR/Bloom rejection.", eo.ShardsPruned)
+	for i := range eo.ShardInserts {
+		c := &obs.Counter{}
+		eo.ShardInserts[i] = c
+		reg.RegisterCounter("smartstore_shard_inserts_total",
+			obs.Labels("shard", strconv.Itoa(i)),
+			"Files routed to each shard by semantic placement.", c)
+	}
+	for _, p := range []struct {
+		phase string
+		hist  *obs.Histogram
+	}{
+		{"lock", eo.CkptLockNs},
+		{"persist", eo.CkptPersistNs},
+		{"retire", eo.CkptRetireNs},
+	} {
+		reg.RegisterHistogram("smartstore_checkpoint_phase_duration_seconds",
+			obs.Labels("phase", p.phase),
+			"Checkpoint phase durations: lock (capture+rotate under shard locks), persist (snapshot encode+fsync), retire (sealed-segment deletion).",
+			obs.ScaleNanos, p.hist)
+	}
+	s.eng.SetObs(eo)
+
+	reg.RegisterGaugeFunc("smartstore_files", "",
+		"Files currently stored.", func() float64 { return float64(s.Stats().Files) })
+	reg.RegisterGaugeFunc("smartstore_epoch", "",
+		"Composed mutation epoch (sum of per-shard epochs; monotonic).",
+		func() float64 { return float64(s.Epoch()) })
+	reg.RegisterGaugeFunc("smartstore_shards", "",
+		"Engine shard count.", func() float64 { return float64(s.Shards()) })
+
+	if s.logs == nil {
+		return
+	}
+	wo := &wal.Observer{
+		AppendNs:   &obs.Histogram{},
+		FsyncNs:    &obs.Histogram{},
+		Fsyncs:     &obs.Counter{},
+		GroupBatch: &obs.Histogram{},
+	}
+	for _, l := range s.logs {
+		l.SetObserver(wo)
+	}
+	reg.RegisterHistogram("smartstore_wal_append_duration_seconds", "",
+		"WAL append latency including the group-commit fsync wait.",
+		obs.ScaleNanos, wo.AppendNs)
+	reg.RegisterHistogram("smartstore_wal_fsync_duration_seconds", "",
+		"Duration of serving-path WAL fsyncs.", obs.ScaleNanos, wo.FsyncNs)
+	reg.RegisterCounter("smartstore_wal_fsyncs_total", "",
+		"Serving-path WAL fsyncs issued.", wo.Fsyncs)
+	reg.RegisterHistogram("smartstore_wal_group_commit_batch_size", "",
+		"Appends acknowledged per group-commit fsync.", 1, wo.GroupBatch)
+	reg.RegisterGaugeFunc("smartstore_wal_bytes", "",
+		"Total valid WAL length across shards.", func() float64 { return float64(s.WALStats().Bytes) })
+	reg.RegisterGaugeFunc("smartstore_wal_segments", "",
+		"Live WAL segment files across shards.", func() float64 { return float64(s.WALStats().Segments) })
+	reg.RegisterCounterFunc("smartstore_wal_rotations_total", "",
+		"WAL segment rotations (capacity- and checkpoint-triggered).",
+		func() float64 { return float64(s.WALStats().Rotations) })
+	reg.RegisterCounterFunc("smartstore_wal_group_commits_total", "",
+		"Group-commit fsync batches issued.", func() float64 { return float64(s.WALStats().GroupCommits) })
+	reg.RegisterCounterFunc("smartstore_wal_grouped_records_total", "",
+		"Appends acknowledged by group-commit batches.", func() float64 { return float64(s.WALStats().GroupedRecords) })
+	reg.RegisterCounterFunc("smartstore_checkpoints_auto_total", "",
+		"Checkpoints triggered by the WAL-size threshold.", func() float64 { return float64(s.autoCheckpoints.Load()) })
+	reg.RegisterCounterFunc("smartstore_checkpoint_failures_total", "",
+		"Auto-triggered checkpoints that failed.", func() float64 { return float64(s.autoCheckpointFailures.Load()) })
+}
