@@ -57,6 +57,7 @@ func main() {
 	units := flag.Int("units", 60, "storage units (metadata servers), summed across shards")
 	shards := flag.Int("shards", 1, "independent engine shards (default 1 = unsharded; must not exceed -units)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	idOffset := flag.Uint64("id-offset", 0, "offset added to every trace-synthesized file id (gives each member of a smartgate federation a disjoint id space)")
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	versioning := flag.Bool("versioning", false, "enable consistency versioning")
 	online := flag.Bool("online", false, "use the on-line multicast query path")
@@ -84,6 +85,7 @@ func main() {
 		units:           *units,
 		shards:          *shards,
 		seed:            *seed,
+		idOffset:        *idOffset,
 		versioning:      *versioning,
 		online:          *online,
 		autoconfig:      *autoconfig,
@@ -195,6 +197,7 @@ type bootstrapOpts struct {
 	trace                    string
 	files, units, shards     int
 	seed                     uint64
+	idOffset                 uint64
 	versioning, online       bool
 	autoconfig               bool
 	maxChildren, minChildren int
@@ -265,6 +268,13 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 	set, err := smartstore.GenerateTrace(o.trace, o.files, o.seed)
 	if err != nil {
 		return nil, "", err
+	}
+	if o.idOffset > 0 {
+		// Disjoint id spaces are a federation invariant: a smartgate
+		// merges per-backend answers assuming no id lives on two members.
+		for _, f := range set.Files {
+			f.ID += o.idOffset
+		}
 	}
 	store, err := smartstore.Build(set.Files, cfg)
 	if err != nil {

@@ -2,8 +2,13 @@ package client
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	smartstore "repro"
 	"repro/internal/server"
@@ -228,5 +233,125 @@ func TestClientErrors(t *testing.T) {
 	}
 	if _, err := dead.Stats(); err == nil {
 		t.Fatal("stats against dead endpoint did not error")
+	}
+}
+
+// flakyHandler answers failures times with failCode, then delegates to
+// ok. It counts every request it sees.
+type flakyHandler struct {
+	mu       sync.Mutex
+	failures int
+	failCode int
+	hits     int
+	ok       http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.hits++
+	fail := f.failures > 0
+	if fail {
+		f.failures--
+	}
+	f.mu.Unlock()
+	if fail {
+		w.WriteHeader(f.failCode)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "induced failure"})
+		return
+	}
+	f.ok.ServeHTTP(w, r)
+}
+
+func (f *flakyHandler) seen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits
+}
+
+func newFlakyStore(t testing.TB, failures, failCode int, opts Options) (*Client, *flakyHandler) {
+	t.Helper()
+	set, err := smartstore.GenerateTrace("EECS", 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHandler{failures: failures, failCode: failCode, ok: server.New(store, server.Options{})}
+	ts := httptest.NewServer(fh)
+	t.Cleanup(ts.Close)
+	return NewWithOptions(ts.URL, opts), fh
+}
+
+func TestClientRetriesIdempotentReads(t *testing.T) {
+	var retried []string
+	cl, fh := newFlakyStore(t, 2, http.StatusServiceUnavailable, Options{
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		OnRetry: func(path string, attempt int, err error) {
+			retried = append(retried, path)
+		},
+	})
+	resp, err := cl.Query(context.Background(), smartstore.NewPointQuery("/nope"))
+	if err != nil {
+		t.Fatalf("query did not survive two transient failures: %v", err)
+	}
+	if resp.Count != 0 {
+		t.Fatalf("unexpected hits: %+v", resp)
+	}
+	if fh.seen() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", fh.seen())
+	}
+	if len(retried) != 2 || retried[0] != "/v1/query" {
+		t.Fatalf("OnRetry observed %v", retried)
+	}
+}
+
+func TestClientRetryBudgetExhausts(t *testing.T) {
+	cl, fh := newFlakyStore(t, 3, http.StatusServiceUnavailable, Options{
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	})
+	_, err := cl.Query(context.Background(), smartstore.NewPointQuery("/nope"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries surfaced %v, want the 503", err)
+	}
+	if fh.seen() != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (1 + 1 retry)", fh.seen())
+	}
+}
+
+func TestClientNeverRetriesClientErrors(t *testing.T) {
+	cl, fh := newFlakyStore(t, 5, http.StatusBadRequest, Options{
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	_, err := cl.Query(context.Background(), smartstore.NewPointQuery("/nope"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("got %v, want the 400", err)
+	}
+	if fh.seen() != 1 {
+		t.Fatalf("a 400 was retried: server saw %d attempts", fh.seen())
+	}
+}
+
+func TestClientNeverRetriesMutations(t *testing.T) {
+	cl, fh := newFlakyStore(t, 5, http.StatusServiceUnavailable, Options{
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	_, err := cl.Insert([]*smartstore.File{{Path: "/m.dat"}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want the 503", err)
+	}
+	if fh.seen() != 1 {
+		t.Fatalf("a mutation was retried: server saw %d attempts (a timed-out insert may have landed)", fh.seen())
+	}
+	if _, err := cl.Delete(7); fh.seen() != 2 {
+		t.Fatalf("delete retried: %d attempts total (err %v)", fh.seen(), err)
 	}
 }

@@ -72,6 +72,12 @@ type Config struct {
 	// settings. Shard 0 uses Cluster.Seed verbatim; later shards derive
 	// distinct deterministic seeds from it.
 	Cluster cluster.Config
+	// Norm, when fitted, is used verbatim instead of fitting a
+	// normalizer to the build corpus. A federation of stores must share
+	// one normalization so distances — and therefore top-k answers —
+	// computed on different backends are comparable; the gateway's
+	// equivalence guarantee depends on it.
+	Norm *metadata.Normalizer
 }
 
 func (c Config) withDefaults() Config {
@@ -149,8 +155,11 @@ func Build(files []*metadata.File, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
-	norm := &metadata.Normalizer{}
-	norm.Fit(files)
+	norm := cfg.Norm
+	if norm == nil || !norm.Fitted() {
+		norm = &metadata.Normalizer{}
+		norm.Fit(files)
+	}
 
 	parts := partition(files, cfg.Shards, norm, cfg.Attrs)
 	e := &Engine{
@@ -283,6 +292,74 @@ func (e *Engine) Epoch() uint64 {
 		sum += s.epoch.Load()
 	}
 	return sum
+}
+
+// ShardEpochs snapshots every shard's mutation epoch in shard order.
+// Each entry is individually monotonic, so a cache keyed on a target
+// subset of shards can compare entries pair-wise and ignore writes that
+// landed elsewhere.
+func (e *Engine) ShardEpochs() []uint64 {
+	out := make([]uint64, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.epoch.Load()
+	}
+	return out
+}
+
+// Placement describes this engine's semantic placement for a
+// federating layer above it: the placement attributes, the store-wide
+// file-count-weighted centroid in raw attribute units, and the raw
+// normalization bounds per attribute. A gateway composes the per-store
+// bounds into a federation-wide normalization and routes by the raw
+// centroids, mirroring shard-level frozen-centroid routing one level
+// up.
+type Placement struct {
+	Attrs    []metadata.Attr
+	Centroid []float64
+	Lo, Hi   []float64
+}
+
+// Placement reports the engine's placement summary. The centroid is the
+// file-count-weighted mean of the frozen shard centroids, denormalized
+// through the engine's own bounds; degenerate bounds (hi ≤ lo: the fit
+// saw one distinct value) denormalize to lo.
+func (e *Engine) Placement() Placement {
+	p := Placement{
+		Attrs:    append([]metadata.Attr(nil), e.cfg.Attrs...),
+		Centroid: make([]float64, len(e.cfg.Attrs)),
+		Lo:       make([]float64, len(e.cfg.Attrs)),
+		Hi:       make([]float64, len(e.cfg.Attrs)),
+	}
+	for j, a := range e.cfg.Attrs {
+		p.Lo[j], p.Hi[j] = e.norm.Bounds(a)
+	}
+	var weight float64
+	norm := make([]float64, len(e.cfg.Attrs))
+	for i, s := range e.shards {
+		w := float64(s.stats().Files)
+		if w <= 0 {
+			continue
+		}
+		weight += w
+		for j := range norm {
+			if j < len(e.centroids[i]) {
+				norm[j] += w * e.centroids[i][j]
+			}
+		}
+	}
+	for j := range norm {
+		v := 0.0
+		if weight > 0 {
+			v = norm[j] / weight
+		}
+		lo, hi := p.Lo[j], p.Hi[j]
+		if hi > lo {
+			p.Centroid[j] = lo + v*(hi-lo)
+		} else {
+			p.Centroid[j] = lo
+		}
+	}
+	return p
 }
 
 // MaxFileID returns the largest file id currently stored (0 when

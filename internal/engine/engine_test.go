@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/merge"
 	"repro/internal/metadata"
 	"repro/internal/query"
 	"repro/internal/semtree"
@@ -145,24 +146,24 @@ func TestRangeFanOutPrunesDisjointShards(t *testing.T) {
 }
 
 func TestMergeTopKBoundedHeap(t *testing.T) {
-	answers := []answer{
-		{ids: []uint64{1, 3, 5}, dists: []float64{0.1, 0.3, 0.5}},
-		{ids: []uint64{2, 4, 6}, dists: []float64{0.2, 0.3, 0.6}},
-		{ids: []uint64{7}, dists: []float64{0.05}},
+	lists := [][]merge.Cand{
+		{{ID: 1, Dist: 0.1}, {ID: 3, Dist: 0.3}, {ID: 5, Dist: 0.5}},
+		{{ID: 2, Dist: 0.2}, {ID: 4, Dist: 0.3}, {ID: 6, Dist: 0.6}},
+		{{ID: 7, Dist: 0.05}},
 	}
-	got := mergeTopK(answers, 4)
+	got := merge.TopK(lists, 4)
 	want := []uint64{7, 1, 2, 3} // 0.05, 0.1, 0.2, then the 0.3 tie → lower id
 	if len(got) != len(want) {
 		t.Fatalf("merged %v", got)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if got[i].ID != want[i] {
 			t.Fatalf("merged %v, want %v", got, want)
 		}
 	}
 	// Fewer candidates than k: everything survives, ordered.
-	got = mergeTopK(answers[2:], 10)
-	if len(got) != 1 || got[0] != 7 {
+	got = merge.TopK(lists[2:], 10)
+	if len(got) != 1 || got[0].ID != 7 {
 		t.Fatalf("under-full merge %v", got)
 	}
 }
@@ -221,5 +222,54 @@ func TestSnapshotRoundTripKeepsAssignment(t *testing.T) {
 	}
 	if back.MaxFileID() != e.MaxFileID() {
 		t.Fatalf("max id %d vs %d", back.MaxFileID(), e.MaxFileID())
+	}
+}
+
+func TestTopKIncludeDistsAndTargets(t *testing.T) {
+	e, _ := buildEngine(t, 1000, 12, 4)
+	q := query.NewTopK(trace.DefaultQueryAttrs(), []float64{40000, 3e7, 6e7}, 10)
+
+	// On-line: every shard is a target, distances align with the ids
+	// and come out ascending — the contract a federating gateway
+	// merges on.
+	ans, err := e.TopK(context.Background(), q, QueryOpts{Online: true, IncludeDists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.IDs) != 10 {
+		t.Fatalf("top-10 answered %d ids", len(ans.IDs))
+	}
+	if len(ans.Dists) != len(ans.IDs) {
+		t.Fatalf("%d dists for %d ids", len(ans.Dists), len(ans.IDs))
+	}
+	for i := 1; i < len(ans.Dists); i++ {
+		if ans.Dists[i] < ans.Dists[i-1] {
+			t.Fatalf("dists not ascending: %v", ans.Dists)
+		}
+	}
+	if len(ans.Targets) != 4 {
+		t.Fatalf("on-line top-k targeted %d shards, want all 4", len(ans.Targets))
+	}
+
+	// Without IncludeDists the answer carries no distances.
+	bare, err := e.TopK(context.Background(), q, QueryOpts{Online: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Dists != nil {
+		t.Fatalf("dists leaked without IncludeDists: %v", bare.Dists)
+	}
+
+	// Off-line: routing narrows the target set to the shard budget,
+	// and the targets name exactly the shards the cache must key on.
+	off, err := e.TopK(context.Background(), q, QueryOpts{IncludeDists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off.Targets) != e.offlineMaxShards() {
+		t.Fatalf("off-line top-k targeted %d shards, want %d", len(off.Targets), e.offlineMaxShards())
+	}
+	if len(off.Dists) != len(off.IDs) {
+		t.Fatalf("off-line: %d dists for %d ids", len(off.Dists), len(off.IDs))
 	}
 }

@@ -1,12 +1,12 @@
 package engine
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/merge"
 	"repro/internal/metadata"
 	"repro/internal/query"
 )
@@ -59,14 +59,28 @@ type QueryOpts struct {
 	Limit int
 	// IncludeRecords projects full record copies into Answer.Records.
 	IncludeRecords bool
+	// IncludeDists resolves each top-k answer id's true normalized
+	// squared distance into Answer.Dists — the handle a federating
+	// gateway needs to merge per-store answers exactly. Ignored by
+	// point and range queries.
+	IncludeDists bool
 }
 
 // Answer is the merged result of one engine query.
 type Answer struct {
-	IDs       []uint64
+	IDs []uint64
+	// Dists holds, aligned with IDs, each candidate's true normalized
+	// squared distance for top-k queries run with IncludeDists.
+	Dists     []float64
 	Records   []metadata.File
 	Truncated bool
 	Report    Report
+	// Targets lists the shard indices the query fanned out to — the
+	// exact shard set whose state the answer is a function of (pruning
+	// happens inside a target; a shard outside Targets was excluded by
+	// data-independent routing over frozen centroids). Serving-layer
+	// caches key invalidation on these shards' epochs.
+	Targets []int
 }
 
 // allShards returns every shard index — the target set of exhaustive
@@ -199,13 +213,14 @@ func (e *Engine) nearestShards(attrs []metadata.Attr, point []float64, max int) 
 func (e *Engine) Point(ctx context.Context, q query.Point, opts QueryOpts) (Answer, error) {
 	prune := len(e.shards) > 1
 	proj := projectOpts{records: opts.IncludeRecords, max: opts.Limit}
-	answers, err := e.fanout(ctx, e.allShards(), func(ctx context.Context, s *Shard) (answer, error) {
+	targets := e.allShards()
+	answers, err := e.fanout(ctx, targets, func(ctx context.Context, s *Shard) (answer, error) {
 		return s.point(ctx, q, prune, proj)
 	})
 	if err != nil {
 		return Answer{}, err
 	}
-	return e.mergeUnion(answers, opts), nil
+	return e.mergeUnion(answers, targets, opts), nil
 }
 
 // Range answers a multi-dimensional range query: the fan-out skips
@@ -217,13 +232,14 @@ func (e *Engine) Range(ctx context.Context, q query.Range, opts QueryOpts) (Answ
 	// Union merges keep a prefix in shard order, so no shard can place
 	// more than Limit ids in the final answer — cap its projection there.
 	proj := projectOpts{records: opts.IncludeRecords, max: opts.Limit}
-	answers, err := e.fanout(ctx, e.allShards(), func(ctx context.Context, s *Shard) (answer, error) {
+	targets := e.allShards()
+	answers, err := e.fanout(ctx, targets, func(ctx context.Context, s *Shard) (answer, error) {
 		return s.rangeQuery(ctx, q, opts.Online, prune, proj)
 	})
 	if err != nil {
 		return Answer{}, err
 	}
-	return e.mergeUnion(answers, opts), nil
+	return e.mergeUnion(answers, targets, opts), nil
 }
 
 // TopK answers a top-k nearest-neighbour query. On-line, every shard
@@ -239,22 +255,52 @@ func (e *Engine) TopK(ctx context.Context, q query.TopK, opts QueryOpts) (Answer
 	if multi && !opts.Online {
 		targets = e.nearestShards(q.Attrs, q.Point, e.offlineMaxShards())
 	}
+	// Cross-shard merging needs every candidate's true distance; a
+	// caller asking for distances (a federating gateway merging across
+	// whole stores) needs them resolved even on a single shard.
+	wantDists := multi || opts.IncludeDists
 	answers, err := e.fanout(ctx, targets, func(ctx context.Context, s *Shard) (answer, error) {
-		return s.topK(ctx, q, opts.Online, multi, opts.IncludeRecords)
+		return s.topK(ctx, q, opts.Online, multi, wantDists, opts.IncludeRecords)
 	})
 	if err != nil {
 		return Answer{}, err
 	}
-	if !multi {
-		return e.finish(answers[0].ids, answers, opts), nil
+	var ids []uint64
+	var dists []float64
+	if multi {
+		lists := make([][]merge.Cand, len(answers))
+		for i, a := range answers {
+			l := make([]merge.Cand, len(a.ids))
+			for j, id := range a.ids {
+				l[j] = merge.Cand{ID: id, Dist: a.dists[j]}
+			}
+			lists[i] = l
+		}
+		cands := merge.TopK(lists, q.K)
+		ids = make([]uint64, len(cands))
+		dists = make([]float64, len(cands))
+		for i, c := range cands {
+			ids[i] = c.ID
+			dists[i] = c.Dist
+		}
+	} else {
+		ids, dists = answers[0].ids, answers[0].dists
 	}
-	ids := mergeTopK(answers, q.K)
-	return e.finish(ids, answers, opts), nil
+	out := e.finish(ids, targets, answers, opts)
+	if opts.IncludeDists && dists != nil {
+		if len(out.IDs) < len(dists) {
+			dists = dists[:len(out.IDs)]
+		}
+		out.Dists = dists
+	}
+	return out, nil
 }
 
 // mergeUnion concatenates per-shard ids in shard order and finishes the
-// answer (limit, records, report aggregation).
-func (e *Engine) mergeUnion(answers []answer, opts QueryOpts) Answer {
+// answer (limit, records, report aggregation). Engine shards hold
+// disjoint id populations by construction, so the concatenation is the
+// exact union.
+func (e *Engine) mergeUnion(answers []answer, targets []int, opts QueryOpts) Answer {
 	total := 0
 	for _, a := range answers {
 		total += len(a.ids)
@@ -263,83 +309,13 @@ func (e *Engine) mergeUnion(answers []answer, opts QueryOpts) Answer {
 	for _, a := range answers {
 		ids = append(ids, a.ids...)
 	}
-	return e.finish(ids, answers, opts)
-}
-
-// topkCand pairs a candidate with its true distance for heap merging.
-type topkCand struct {
-	id   uint64
-	dist float64
-}
-
-// candHeap is a bounded max-heap over (dist, id): the root is the
-// current worst of the k best, so a better candidate replaces it in
-// O(log k) and the merge never materializes more than k entries.
-type candHeap []topkCand
-
-func (h candHeap) Len() int { return len(h) }
-func (h candHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist > h[j].dist
-	}
-	return h[i].id > h[j].id
-}
-func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)   { *h = append(*h, x.(topkCand)) }
-func (h *candHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h candHeap) worse(c topkCand) bool {
-	if h[0].dist != c.dist {
-		return h[0].dist > c.dist
-	}
-	return h[0].id > c.id
-}
-
-// mergeTopK folds per-shard top-k candidate lists into the k globally
-// nearest, ordered ascending by (distance, id) — the same total order
-// the per-cluster rerank uses, so a sharded answer matches the
-// single-deployment answer on identical data.
-func mergeTopK(answers []answer, k int) []uint64 {
-	// k is remote-controlled (the wire layer only requires k ≥ 1), so
-	// the heap's preallocation is bounded by the actual candidate count
-	// — it can never hold more entries than the shards returned.
-	prealloc := 0
-	for _, a := range answers {
-		prealloc += len(a.ids)
-	}
-	if k < prealloc {
-		prealloc = k
-	}
-	h := make(candHeap, 0, prealloc)
-	for _, a := range answers {
-		for i, id := range a.ids {
-			c := topkCand{id: id, dist: a.dists[i]}
-			if len(h) < k {
-				heap.Push(&h, c)
-			} else if h.worse(c) {
-				h[0] = c
-				heap.Fix(&h, 0)
-			}
-		}
-	}
-	out := make([]topkCand, len(h))
-	copy(out, h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].dist != out[j].dist {
-			return out[i].dist < out[j].dist
-		}
-		return out[i].id < out[j].id
-	})
-	ids := make([]uint64, len(out))
-	for i, c := range out {
-		ids[i] = c.id
-	}
-	return ids
+	return e.finish(ids, targets, answers, opts)
 }
 
 // finish applies the limit, projects records for the final ids from the
 // owning shards' captures, and aggregates the per-shard reports.
-func (e *Engine) finish(ids []uint64, answers []answer, opts QueryOpts) Answer {
-	var out Answer
+func (e *Engine) finish(ids []uint64, targets []int, answers []answer, opts QueryOpts) Answer {
+	out := Answer{Targets: targets}
 	if opts.Limit > 0 && len(ids) > opts.Limit {
 		ids = ids[:opts.Limit]
 		out.Truncated = true

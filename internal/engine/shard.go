@@ -218,11 +218,12 @@ func (s *Shard) rangeQuery(ctx context.Context, q query.Range, online, sharded b
 }
 
 // topK answers a top-k query on this shard. When sharded, the off-line
-// path runs under the shared group budget, and each candidate's true
-// normalized distance is resolved (under the same query slot, where the
-// lazy id index is safe to build) so the engine can merge per-shard
-// answers by distance.
-func (s *Shard) topK(ctx context.Context, q query.TopK, online, sharded, includeRecords bool) (answer, error) {
+// path runs under the shared group budget. When wantDists — a
+// multi-shard merge, or a caller that asked for distances explicitly —
+// each candidate's true normalized distance is resolved under the same
+// query slot (where the lazy id index is safe to build) so answers can
+// be merged by distance at any level above.
+func (s *Shard) topK(ctx context.Context, q query.TopK, online, sharded, wantDists, includeRecords bool) (answer, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c := s.clusterFor(q.Attrs)
@@ -236,7 +237,7 @@ func (s *Shard) topK(ctx context.Context, q query.TopK, online, sharded, include
 		default:
 			a.ids, a.res = c.TopKOffline(q)
 		}
-		if sharded {
+		if wantDists {
 			a.dists = make([]float64, len(a.ids))
 			for i, id := range a.ids {
 				if f, ok := c.FileByID(id); ok {

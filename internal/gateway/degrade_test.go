@@ -1,0 +1,130 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	smartstore "repro"
+	"repro/internal/client"
+	"repro/internal/obs"
+)
+
+// TestGatewayDegradesOnBackendDown is the partial-result contract: a
+// down backend costs coverage, never availability. The answer is the
+// healthy members' union, flagged Partial, with status 200.
+func TestGatewayDegradesOnBackendDown(t *testing.T) {
+	fed := buildFederation(t, 900, 3)
+	ctx := context.Background()
+
+	// Ground truth and the down member's id set, captured while
+	// everything is still up.
+	full, err := fed.single.Query(ctx, smartstore.NewRangeQuery(queryAttrs(),
+		[]float64{0, 0, 0}, []float64{9e15, 9e15, 9e15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := toSet(nil)
+	for _, f := range fed.perNode[1] {
+		lost[f.ID] = true
+	}
+
+	// Kill backend 1 the hard way: its listener closes, connections
+	// refuse. The first fanned-out query eats the failure, degrades,
+	// and marks the member down.
+	fed.backends[1].Close()
+	got, err := fed.gate.Query(ctx, smartstore.NewRangeQuery(queryAttrs(),
+		[]float64{0, 0, 0}, []float64{9e15, 9e15, 9e15}))
+	if err != nil {
+		t.Fatalf("degraded query failed instead of answering partial: %v", err)
+	}
+	if !got.Partial {
+		t.Fatal("degraded answer not flagged partial")
+	}
+	if len(got.IDs) == 0 {
+		t.Fatal("degraded answer empty")
+	}
+	fullSet := toSet(full.IDs)
+	for _, id := range got.IDs {
+		if !fullSet[id] {
+			t.Fatalf("degraded answer invented id %d", id)
+		}
+		if lost[id] {
+			t.Fatalf("degraded answer contains id %d from the down backend", id)
+		}
+	}
+	if want := len(full.IDs) - len(fed.perNode[1]); len(got.IDs) != want {
+		t.Fatalf("degraded answer has %d ids, healthy members hold %d", len(got.IDs), want)
+	}
+
+	// The member is now marked down: the next query skips it outright
+	// and still flags the gap.
+	got, err = fed.gate.Query(ctx, smartstore.NewTopKQuery(queryAttrs(), topkPoints()[0], 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial {
+		t.Fatal("second degraded answer not flagged partial")
+	}
+	for _, id := range got.IDs {
+		if lost[id] {
+			t.Fatalf("down backend's id %d in a post-markdown answer", id)
+		}
+	}
+
+	// Mutating an id that lived on the down member is indeterminate:
+	// the healthy members answer not-found, so the gateway must refuse
+	// (503), not report a confident miss.
+	var downID uint64
+	for id := range lost {
+		downID = id
+		break
+	}
+	_, err = fed.gate.Delete(downID)
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("indeterminate delete answered %v, want a 503", err)
+	}
+
+	// The outage is visible in the gateway's own exposition.
+	text, err := fed.gate.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("gateway exposition does not parse: %v", err)
+	}
+	partial := obs.FindFamily(fams, "smartgate_partial_responses_total")
+	if partial == nil || len(partial.Samples) == 0 || partial.Samples[0].Value < 2 {
+		t.Fatalf("partial_responses_total missing or low: %+v", partial)
+	}
+	up := obs.FindFamily(fams, "smartgate_backend_up")
+	if up == nil {
+		t.Fatal("backend_up family missing")
+	}
+	downSeen := 0
+	for _, s := range up.Samples {
+		if s.Value == 0 {
+			downSeen++
+		}
+	}
+	if downSeen != 1 {
+		t.Fatalf("%d backends read down in backend_up, want 1", downSeen)
+	}
+
+	// With every backend gone the gateway finally refuses — 503, not
+	// 500 — and its own health probe fails.
+	fed.backends[0].Close()
+	fed.backends[2].Close()
+	// Two more queries: the first marks the remaining members down.
+	fed.gate.Query(ctx, smartstore.NewPointQuery("/x"))
+	_, err = fed.gate.Query(ctx, smartstore.NewPointQuery("/x"))
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("all-down query answered %v, want a 503", err)
+	}
+	if fed.gate.Healthy() {
+		t.Fatal("gateway reports healthy with every backend down")
+	}
+}

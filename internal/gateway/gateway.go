@@ -1,0 +1,478 @@
+// Package gateway is the scale-out serving layer of the reproduction:
+// a thin federating daemon (cmd/smartgate) in front of a static
+// membership of N smartstored backends, lifting the engine's
+// shard-level semantics to the network. It serves the exact same
+// HTTP/JSON wire API as a single smartstored — smartctl, smartbench
+// and internal/client work against it unchanged — while queries fan
+// out concurrently over the typed client and fold back together with
+// the shared exact-merge rules (internal/merge): point and range
+// answers union per-backend id lists, top-k answers keep the k
+// globally nearest by true normalized distance, so a gateway answer
+// over N backends is identical to a single store holding the union of
+// their corpora (on-line mode, shared normalizer — see DESIGN.md §9).
+//
+// Placement mirrors the engine one level up: at bootstrap the gateway
+// reads each backend's placement summary (attributes, raw centroid,
+// normalization bounds) from /v1/stats, composes federation-wide
+// bounds, and freezes per-backend centroids in that space. Inserts
+// route to the nearest healthy centroid; deletes and modifies route
+// through a lazily learned id → backend index, falling back to a
+// healthy fan-out.
+//
+// Health checks (Client.Healthy on the /healthz endpoint) drive
+// graceful degradation: a down backend is skipped, the answer is
+// computed from the healthy members and flagged Partial in the
+// response envelope — never a 500 — and the outage is visible in the
+// gateway's own /v1/metrics.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metadata"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+// Options parameterizes a Gateway. Backends is required; every other
+// zero value selects a default.
+type Options struct {
+	// Backends is the static membership: one smartstored address
+	// ("host:port" or full URL) per backend.
+	Backends []string
+	// HealthEvery is the health-check cadence (0 → 2s).
+	HealthEvery time.Duration
+	// Timeout bounds each backend request attempt (0 → 10s).
+	Timeout time.Duration
+	// Retries is how many extra attempts an idempotent backend read
+	// gets after a transient failure (negative → 0; 0 → 2).
+	Retries int
+	// RetryBackoff is the initial retry delay, doubling per retry
+	// (0 → 25ms).
+	RetryBackoff time.Duration
+	// Workers bounds concurrently executing requests (0 → 4×GOMAXPROCS
+	// — gateway work is network-bound, so it runs wider than a store).
+	Workers int
+	// MaxQueue bounds requests waiting for a worker slot (0 →
+	// 8×Workers).
+	MaxQueue int
+	// DisableMetrics drops the metrics registry and the /v1/metrics
+	// route.
+	DisableMetrics bool
+	// BootstrapWait bounds how long New retries unreachable backends
+	// before giving up (0 → 15s). Every backend must answer its
+	// placement once at bootstrap; after that, health checks take over.
+	BootstrapWait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 8 * o.Workers
+	}
+	if o.BootstrapWait <= 0 {
+		o.BootstrapWait = 15 * time.Second
+	}
+	return o
+}
+
+// backend is one member of the federation.
+type backend struct {
+	idx  int
+	name string
+	// cl is the plain client; tcl is its trace-propagating copy, used
+	// when the inbound request carries the trace header.
+	cl  *client.Client
+	tcl *client.Client
+	// up flips with health checks and query-time transport failures; a
+	// down backend is skipped by fan-outs until a health check brings
+	// it back.
+	up atomic.Bool
+	// centroid is the backend's frozen placement centroid, normalized
+	// into the federation-wide bounds — the insert routing target.
+	centroid []float64
+}
+
+// Gateway federates N smartstored backends behind the single-store
+// wire API. It implements http.Handler.
+type Gateway struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	backends []*backend
+	// attrs is the placement predicate shared by every backend; lo/hi
+	// are the composed federation-wide normalization bounds over it.
+	attrs  []metadata.Attr
+	lo, hi []float64
+
+	sem      chan struct{}
+	inflight atomic.Int64
+	requests atomic.Uint64
+	rejected atomic.Uint64
+
+	// insMu makes gateway-side id allocation atomic with the insert
+	// fan-out, exactly like the single store's allocator: nextID starts
+	// above every backend's bootstrap maximum.
+	insMu  sync.Mutex
+	nextID uint64
+
+	// assign is the lazily learned id → backend index: inserts record
+	// their placement, deletes/modifies learn from fan-out answers.
+	// Unknown ids fall back to a healthy fan-out.
+	idMu   sync.RWMutex
+	assign map[uint64]int
+
+	metrics *gatewayMetrics
+	build   version.BuildInfo
+}
+
+// New builds a gateway over the given membership, reading every
+// backend's placement summary (retrying unreachable backends up to
+// Options.BootstrapWait) and validating that all backends share one
+// placement predicate.
+func New(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	g := &Gateway{
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		sem:    make(chan struct{}, opts.Workers),
+		assign: make(map[uint64]int),
+		build:  version.Build(),
+	}
+	if !opts.DisableMetrics {
+		g.metrics = newGatewayMetrics(g, opts.Backends)
+	}
+	clOpts := client.Options{
+		Timeout:      opts.Timeout,
+		Retries:      opts.Retries,
+		RetryBackoff: opts.RetryBackoff,
+		OnRetry: func(string, int, error) {
+			if g.metrics != nil {
+				g.metrics.clientRetries.Inc()
+			}
+		},
+	}
+	for i, addr := range opts.Backends {
+		b := &backend{idx: i, name: addr, cl: client.NewWithOptions(addr, clOpts)}
+		b.tcl = b.cl.WithTrace()
+		g.backends = append(g.backends, b)
+	}
+
+	// Bootstrap: fetch every backend's placement, compose the
+	// federation-wide bounds, and freeze normalized centroids.
+	placements := make([]*server.PlacementWire, len(g.backends))
+	deadline := time.Now().Add(opts.BootstrapWait)
+	for i, b := range g.backends {
+		for {
+			st, err := b.cl.Stats()
+			if err == nil {
+				if st.Placement == nil {
+					return nil, fmt.Errorf("gateway: backend %s reports no placement (not a smartstored?)", b.name)
+				}
+				placements[i] = st.Placement
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("gateway: backend %s unreachable at bootstrap: %w", b.name, err)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		b.up.Store(true)
+	}
+	if err := g.composePlacement(placements); err != nil {
+		return nil, err
+	}
+	if g.metrics != nil {
+		g.registerBackendGauges()
+	}
+	g.routes()
+	return g, nil
+}
+
+// composePlacement validates the shared placement predicate and builds
+// the federation-wide normalization plus per-backend centroids.
+func (g *Gateway) composePlacement(placements []*server.PlacementWire) error {
+	first := placements[0]
+	attrs := make([]metadata.Attr, len(first.Attrs))
+	for j, name := range first.Attrs {
+		a, err := metadata.ParseAttr(name)
+		if err != nil {
+			return fmt.Errorf("gateway: backend %s placement: %w", g.backends[0].name, err)
+		}
+		attrs[j] = a
+	}
+	g.attrs = attrs
+	g.lo = append([]float64(nil), first.Lo...)
+	g.hi = append([]float64(nil), first.Hi...)
+	for i, p := range placements[1:] {
+		if len(p.Attrs) != len(first.Attrs) {
+			return fmt.Errorf("gateway: backend %s placement attrs %v differ from %s's %v",
+				g.backends[i+1].name, p.Attrs, g.backends[0].name, first.Attrs)
+		}
+		for j := range p.Attrs {
+			if p.Attrs[j] != first.Attrs[j] {
+				return fmt.Errorf("gateway: backend %s placement attrs %v differ from %s's %v",
+					g.backends[i+1].name, p.Attrs, g.backends[0].name, first.Attrs)
+			}
+		}
+		for j := range g.lo {
+			if j < len(p.Lo) && p.Lo[j] < g.lo[j] {
+				g.lo[j] = p.Lo[j]
+			}
+			if j < len(p.Hi) && p.Hi[j] > g.hi[j] {
+				g.hi[j] = p.Hi[j]
+			}
+		}
+	}
+	for i, p := range placements {
+		g.backends[i].centroid = g.normalize(p.Centroid)
+		if p.MaxFileID > g.nextID {
+			g.nextID = p.MaxFileID
+		}
+	}
+	return nil
+}
+
+// normalize maps a raw placement-space vector into the composed [0,1]
+// bounds; a degenerate dimension (hi ≤ lo) maps to 0.
+func (g *Gateway) normalize(raw []float64) []float64 {
+	out := make([]float64, len(g.attrs))
+	for j := range out {
+		if j >= len(raw) {
+			continue
+		}
+		lo, hi := g.lo[j], g.hi[j]
+		if hi <= lo {
+			continue
+		}
+		v := (raw[j] - lo) / (hi - lo)
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// normValue normalizes one attribute value against the composed
+// bounds, or reports that the attribute is outside the placement
+// predicate.
+func (g *Gateway) normValue(a metadata.Attr, v float64) (float64, bool) {
+	for j, pa := range g.attrs {
+		if pa == a {
+			lo, hi := g.lo[j], g.hi[j]
+			if hi <= lo {
+				return 0, true
+			}
+			x := (v - lo) / (hi - lo)
+			if x < 0 {
+				x = 0
+			} else if x > 1 {
+				x = 1
+			}
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// healthy returns the currently-up members, in membership order.
+func (g *Gateway) healthy() []*backend {
+	out := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.up.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// markDown flips a backend down after a query-time transport failure,
+// so subsequent fan-outs skip it immediately instead of timing out
+// again; the health loop brings it back when /healthz answers.
+func (g *Gateway) markDown(b *backend) {
+	if b.up.CompareAndSwap(true, false) {
+		if g.metrics != nil {
+			g.metrics.healthTransitions.Inc()
+		}
+	}
+}
+
+// Run drives the health loop until ctx is cancelled: every
+// Options.HealthEvery, all backends are probed concurrently and their
+// up state updated. Transitions count into the metrics registry.
+func (g *Gateway) Run(ctx context.Context) {
+	ticker := time.NewTicker(g.opts.HealthEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every backend concurrently.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			h := b.cl.Healthy()
+			if b.up.Swap(h) != h && g.metrics != nil {
+				g.metrics.healthTransitions.Inc()
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// offlineMaxBackends caps an off-line top-k fan-out, mirroring the
+// engine's shard-level budget: the most-correlated backend plus a few
+// siblings, growing slowly with the membership size.
+func offlineMaxBackends(n int) int {
+	m := 1 + n/4
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// nearestBackends ranks the healthy backends by placement-centroid
+// distance to the query point over the queried attributes, returning
+// the closest max in membership order. Queried attributes sharing no
+// dimension with the placement predicate carry no signal, so the
+// routing falls back to every healthy backend — the same fallback the
+// engine's shard routing uses.
+func (g *Gateway) nearestBackends(healthy []*backend, attrs []metadata.Attr, point []float64, max int) []*backend {
+	overlap := false
+	for _, a := range attrs {
+		for _, pa := range g.attrs {
+			if pa == a {
+				overlap = true
+			}
+		}
+	}
+	if !overlap || len(healthy) <= max {
+		return healthy
+	}
+	type ranked struct {
+		b    *backend
+		dist float64
+	}
+	rs := make([]ranked, len(healthy))
+	for i, b := range healthy {
+		var d float64
+		for j, a := range attrs {
+			v, ok := g.normValue(a, point[j])
+			if !ok {
+				continue
+			}
+			for k, pa := range g.attrs {
+				if pa == a && k < len(b.centroid) {
+					x := v - b.centroid[k]
+					d += x * x
+				}
+			}
+		}
+		rs[i] = ranked{b: b, dist: d}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].dist != rs[j].dist {
+			return rs[i].dist < rs[j].dist
+		}
+		return rs[i].b.idx < rs[j].b.idx
+	})
+	out := make([]*backend, max)
+	for i := 0; i < max; i++ {
+		out[i] = rs[i].b
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+// placeInsert routes one wire record to the nearest healthy backend's
+// frozen centroid — the gateway-level twin of Engine.shardFor.
+func (g *Gateway) placeInsert(rec server.FileRecord, healthy []*backend) *backend {
+	if len(healthy) == 1 {
+		return healthy[0]
+	}
+	v := make([]float64, len(g.attrs))
+	for j, a := range g.attrs {
+		if raw, ok := rec.Attrs[a.String()]; ok {
+			nv, _ := g.normValue(a, raw)
+			v[j] = nv
+		}
+	}
+	best, bestDist := healthy[0], -1.0
+	for _, b := range healthy {
+		var d float64
+		for j := range v {
+			if j < len(b.centroid) {
+				x := v[j] - b.centroid[j]
+				d += x * x
+			}
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = b, d
+		}
+	}
+	return best
+}
+
+// learn records (or forgets, for idx < 0) one id's owning backend.
+func (g *Gateway) learn(id uint64, idx int) {
+	g.idMu.Lock()
+	if idx < 0 {
+		delete(g.assign, id)
+	} else {
+		g.assign[id] = idx
+	}
+	g.idMu.Unlock()
+}
+
+// owner looks up one id's learned backend, if any.
+func (g *Gateway) owner(id uint64) (*backend, bool) {
+	g.idMu.RLock()
+	idx, ok := g.assign[id]
+	g.idMu.RUnlock()
+	if !ok || idx >= len(g.backends) {
+		return nil, false
+	}
+	return g.backends[idx], true
+}

@@ -1,0 +1,636 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// routes installs the single-store wire API over the federation.
+func (g *Gateway) routes() {
+	if g.metrics != nil {
+		g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	}
+	g.mux.HandleFunc("POST /v1/query", g.admitted("query", g.handleQuery))
+	g.mux.HandleFunc("POST /v1/query/point", g.admitted("point", g.handlePoint))
+	g.mux.HandleFunc("POST /v1/query/range", g.admitted("range", g.handleRange))
+	g.mux.HandleFunc("POST /v1/query/topk", g.admitted("topk", g.handleTopK))
+	g.mux.HandleFunc("POST /v1/insert", g.admitted("insert", g.handleInsert))
+	g.mux.HandleFunc("POST /v1/delete", g.admitted("delete", g.handleDelete))
+	g.mux.HandleFunc("POST /v1/modify", g.admitted("modify", g.handleModify))
+	g.mux.HandleFunc("POST /v1/flush", g.admitted("flush", g.handleFlush))
+	g.mux.HandleFunc("GET /v1/stats", g.admitted("stats", g.handleStats))
+	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The gateway is healthy while it can answer anything at all;
+		// with every backend down it fails its own probe, so a load
+		// balancer in front of several gateways routes around it.
+		if len(g.healthy()) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+}
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// errBusy is returned by admission when the wait queue is full.
+var errBusy = errors.New("gateway at capacity")
+
+// errIndeterminate marks a mutation whose target id was not found on
+// any healthy backend while part of the membership was unreachable —
+// the id may live on a down member, so "not found" would be a lie.
+var errIndeterminate = errors.New("gateway: id not found on healthy backends and part of the membership is down")
+
+// admit blocks until a worker slot frees, the request is cancelled, or
+// the wait queue overflows. On success the caller must invoke release.
+func (g *Gateway) admit(r *http.Request) (release func(), err error) {
+	if g.inflight.Add(1) > int64(g.opts.Workers+g.opts.MaxQueue) {
+		g.inflight.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem; g.inflight.Add(-1) }, nil
+	case <-r.Context().Done():
+		g.inflight.Add(-1)
+		return nil, r.Context().Err()
+	}
+}
+
+// admitted wraps a handler with admission control, instrumentation and
+// error mapping. The gateway's mapping adds two federation cases to
+// the store's: an unservable federation answers 503, and a backend
+// failure answers 502 — never a bare 500, which would read as a
+// gateway bug instead of a membership problem.
+func (g *Gateway) admitted(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.requests.Add(1)
+		g.metrics.observeEndpoint(endpoint)
+		start := time.Now()
+		release, err := g.admit(r)
+		if err != nil {
+			g.rejected.Add(1)
+			if errors.Is(err, errBusy) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+			} else {
+				// Client went away while queued.
+				writeError(w, 499, err)
+			}
+			return
+		}
+		wait := time.Since(start)
+		g.metrics.observeAdmissionWait(wait)
+		if r.Header.Get(server.TraceHeader) != "" {
+			var ctx context.Context
+			var tr *obs.QueryTrace
+			ctx, tr = obs.WithTrace(r.Context())
+			tr.AddPhase("admission_wait", wait)
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			release()
+			g.metrics.observeDuration(endpoint, time.Since(start))
+		}()
+		if err := h(w, r); err != nil {
+			var bad badRequestError
+			var se *client.StatusError
+			switch {
+			case errors.Is(err, errAllDown), errors.Is(err, errIndeterminate):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+			case errors.As(err, &bad) || isClientError(err):
+				writeError(w, http.StatusBadRequest, err)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				// Client went away mid-request.
+				writeError(w, 499, err)
+			case errors.As(err, &se):
+				// A backend answered with server-side pressure or failure.
+				writeError(w, http.StatusBadGateway, err)
+			default:
+				// Transport-level failure toward a backend.
+				writeError(w, http.StatusBadGateway, err)
+			}
+		}
+	}
+}
+
+// maxBodyBytes bounds request bodies (batch inserts dominate sizing).
+const maxBodyBytes = 16 << 20
+
+// maxBatchQueries bounds one /v1/query batch, matching the store.
+const maxBatchQueries = 256
+
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return badRequestf("decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
+}
+
+// handleQuery serves the unified POST /v1/query endpoint: one query
+// inline, or a batch under "queries", each member fanning out to its
+// own backend set concurrently under the one admission ticket.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	tr := obs.TraceFrom(r.Context())
+	traced := tr != nil
+	decodeStart := time.Now()
+	var req server.QueryRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	tr.AddPhase("decode", time.Since(decodeStart))
+	if len(req.Queries) == 0 {
+		q, err := req.WireQuery.Query()
+		if err != nil {
+			return badRequestf("%v", err)
+		}
+		execStart := time.Now()
+		resp, backends, err := g.execQuery(r.Context(), q, traced)
+		if err != nil {
+			return err
+		}
+		tr.AddPhase("execute", time.Since(execStart))
+		g.writeQueryResponse(w, r, resp, backends)
+		return nil
+	}
+
+	if len(req.Queries) > maxBatchQueries {
+		return badRequestf("batch of %d queries exceeds the %d limit", len(req.Queries), maxBatchQueries)
+	}
+	queries := make([]smartstore.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.Query()
+		if err != nil {
+			return badRequestf("queries[%d]: %v", i, err)
+		}
+		queries[i] = q
+	}
+	results := make([]server.QueryResponse, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q smartstore.Query) {
+			defer wg.Done()
+			resp, _, err := g.execQuery(r.Context(), q, false)
+			if err != nil {
+				resp = server.QueryResponse{Kind: q.Kind.String(), Error: err.Error()}
+			}
+			results[i] = resp
+		}(i, q)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, server.BatchQueryResponse{Results: results})
+	return nil
+}
+
+// The legacy one-endpoint-per-kind shims mirror the store's.
+
+func (g *Gateway) handlePoint(w http.ResponseWriter, r *http.Request) error {
+	var req server.PointRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	return g.serveShim(w, r, server.WireQuery{Kind: "point", Path: req.Path})
+}
+
+func (g *Gateway) handleRange(w http.ResponseWriter, r *http.Request) error {
+	var req server.RangeRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	return g.serveShim(w, r, server.WireQuery{Kind: "range", Attrs: req.Attrs, Lo: req.Lo, Hi: req.Hi})
+}
+
+func (g *Gateway) handleTopK(w http.ResponseWriter, r *http.Request) error {
+	var req server.TopKRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	return g.serveShim(w, r, server.WireQuery{Kind: "topk", Attrs: req.Attrs, Point: req.Point, K: req.K})
+}
+
+func (g *Gateway) serveShim(w http.ResponseWriter, r *http.Request, wq server.WireQuery) error {
+	q, err := wq.Query()
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	tr := obs.TraceFrom(r.Context())
+	execStart := time.Now()
+	resp, backends, err := g.execQuery(r.Context(), q, tr != nil)
+	if err != nil {
+		return err
+	}
+	tr.AddPhase("execute", time.Since(execStart))
+	g.writeQueryResponse(w, r, resp, backends)
+	return nil
+}
+
+// writeQueryResponse attaches the gateway-level trace (phases plus the
+// per-backend breakdown, each nesting the backend's own trace) when
+// the request carried the trace header.
+func (g *Gateway) writeQueryResponse(w http.ResponseWriter, r *http.Request, resp server.QueryResponse, backends []server.BackendTraceWire) {
+	tr := obs.TraceFrom(r.Context())
+	if tr != nil && r.Header.Get(server.TraceHeader) != "" {
+		encStart := time.Now()
+		if _, err := json.Marshal(resp); err == nil {
+			tr.AddPhase("encode", time.Since(encStart))
+		}
+		resp.Trace = gatewayTrace(tr, backends)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gatewayTrace shapes the gateway's trace for the wire: phases in
+// recording order with a derived "merge" phase after "execute" (the
+// execute wall time minus the slowest contributing backend — the
+// fan-out's collect-and-merge overhead), and the backend breakdown
+// alongside.
+func gatewayTrace(tr *obs.QueryTrace, backends []server.BackendTraceWire) *server.TraceWire {
+	phases := tr.Phases()
+	total := time.Since(tr.Start)
+	for _, p := range phases {
+		if p.Name == "admission_wait" {
+			total += p.Dur
+		}
+	}
+	var slowest float64
+	for _, b := range backends {
+		if !b.Down && b.Ms > slowest {
+			slowest = b.Ms
+		}
+	}
+	out := &server.TraceWire{TotalMs: ms(total), Backends: backends}
+	for _, p := range phases {
+		out.Phases = append(out.Phases, server.PhaseWire{Name: p.Name, Ms: ms(p.Dur)})
+		if p.Name == "execute" && len(backends) > 0 {
+			m := ms(p.Dur) - slowest
+			if m < 0 {
+				m = 0
+			}
+			out.Phases = append(out.Phases, server.PhaseWire{Name: "merge", Ms: m})
+		}
+	}
+	return out
+}
+
+// handleInsert validates and allocates ids exactly like the store's
+// server, then routes each record to the nearest healthy centroid and
+// fans the per-target batches out concurrently. The id→backend index
+// learns every placed record, so later deletes and modifies go direct.
+func (g *Gateway) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req server.InsertRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if len(req.Files) == 0 {
+		return badRequestf("insert: empty batch")
+	}
+	healthy := g.healthy()
+	if len(healthy) == 0 {
+		return errAllDown
+	}
+	ids := make([]uint64, len(req.Files))
+	groups := make(map[*backend][]server.FileRecord)
+	g.insMu.Lock()
+	for i, rec := range req.Files {
+		if _, err := rec.File(); err != nil {
+			g.insMu.Unlock()
+			return badRequestf("insert[%d]: %v", i, err)
+		}
+		if rec.ID == 0 {
+			g.nextID++
+			rec.ID = g.nextID
+		} else if rec.ID > g.nextID {
+			// Keep the allocator above explicit ids so later
+			// auto-assigned ones cannot collide with them.
+			g.nextID = rec.ID
+		}
+		ids[i] = rec.ID
+		b := g.placeInsert(rec, healthy)
+		groups[b] = append(groups[b], rec)
+	}
+	g.insMu.Unlock()
+
+	type placed struct {
+		b    *backend
+		resp *server.InsertResponse
+		err  error
+	}
+	results := make([]placed, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for b, recs := range groups {
+		wg.Add(1)
+		go func(b *backend, recs []server.FileRecord) {
+			defer wg.Done()
+			resp, err := b.cl.InsertRecords(r.Context(), recs)
+			if err == nil {
+				// Learn placements as soon as they are durable on the
+				// backend — even if a sibling group fails, these landed.
+				for _, rec := range recs {
+					g.learn(rec.ID, b.idx)
+				}
+			}
+			mu.Lock()
+			results = append(results, placed{b: b, resp: resp, err: err})
+			mu.Unlock()
+		}(b, recs)
+	}
+	wg.Wait()
+
+	out := server.InsertResponse{Inserted: len(req.Files), IDs: ids}
+	contributing := 0
+	for _, p := range results {
+		if p.err != nil {
+			if !isClientError(p.err) {
+				g.markDown(p.b)
+			}
+			// A failed group means the batch is partially applied; the
+			// 502 tells the client which member to reconcile against.
+			return badGatewayf(p.err, "insert: backend %s failed", p.b.name)
+		}
+		out.Epoch += p.resp.Epoch
+		composeReport(&out.Report, p.resp.Report, contributing == 0)
+		contributing++
+	}
+	if contributing > 1 {
+		out.Report.Hops += contributing - 1
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// badGatewayf keeps the backend's error in the chain so the admitted
+// wrapper still classifies it, while prefixing the gateway's context.
+func badGatewayf(err error, format string, args ...any) error {
+	return &wrappedError{msg: badRequestf(format, args...).Error(), err: err}
+}
+
+type wrappedError struct {
+	msg string
+	err error
+}
+
+func (e *wrappedError) Error() string { return e.msg + ": " + e.err.Error() }
+func (e *wrappedError) Unwrap() error { return e.err }
+
+// composeReport folds one backend's virtual-time report into the
+// composed one: wall times max (members ran in parallel), counters sum.
+func composeReport(into *server.Report, r server.Report, first bool) {
+	if first {
+		*into = r
+		return
+	}
+	if r.LatencySec > into.LatencySec {
+		into.LatencySec = r.LatencySec
+	}
+	if r.VersionLatencySec > into.VersionLatencySec {
+		into.VersionLatencySec = r.VersionLatencySec
+	}
+	into.Messages += r.Messages
+	into.Hops += r.Hops
+	into.UnitsSearched += r.UnitsSearched
+	into.VersionChecked += r.VersionChecked
+}
+
+// mutate routes one id-addressed mutation: direct to the learned owner
+// when known, otherwise fanned out to every healthy backend (at most
+// one holds the id — id spaces are disjoint). A not-found verdict with
+// part of the membership down is indeterminate, not authoritative.
+func (g *Gateway) mutate(ctx context.Context, id uint64, op func(ctx context.Context, b *backend) (*server.MutateResponse, bool, error)) (server.MutateResponse, error) {
+	if b, ok := g.owner(id); ok && b.up.Load() {
+		resp, found, err := op(ctx, b)
+		if err == nil {
+			if !found {
+				// Stale learned placement; forget it and fall through to
+				// the fan-out below.
+				g.learn(id, -1)
+			} else {
+				return *resp, nil
+			}
+		} else if isClientError(err) {
+			return server.MutateResponse{}, err
+		} else {
+			g.markDown(b)
+			return server.MutateResponse{}, badGatewayf(err, "mutation: backend %s failed", b.name)
+		}
+	}
+
+	healthy := g.healthy()
+	if len(healthy) == 0 {
+		return server.MutateResponse{}, errAllDown
+	}
+	type verdict struct {
+		b     *backend
+		resp  *server.MutateResponse
+		found bool
+		err   error
+	}
+	verdicts := make([]verdict, len(healthy))
+	var wg sync.WaitGroup
+	for i, b := range healthy {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			resp, found, err := op(ctx, b)
+			verdicts[i] = verdict{b: b, resp: resp, found: found, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+
+	failed := 0
+	var out server.MutateResponse
+	contributing := 0
+	for _, v := range verdicts {
+		switch {
+		case v.err == nil && v.found:
+			out.Found = true
+			out.Report = v.resp.Report
+			g.learn(id, v.b.idx)
+		case v.err == nil:
+			// Not found here; the epoch still composes below.
+		case isClientError(v.err):
+			return server.MutateResponse{}, v.err
+		default:
+			failed++
+			g.markDown(v.b)
+			continue
+		}
+		out.Epoch += v.resp.Epoch
+		contributing++
+	}
+	if !out.Found && (failed > 0 || len(healthy) < len(g.backends)) {
+		return server.MutateResponse{}, errIndeterminate
+	}
+	if contributing == 0 {
+		return server.MutateResponse{}, errAllDown
+	}
+	return out, nil
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	var req server.DeleteRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.ID == 0 {
+		return badRequestf("delete: missing id")
+	}
+	resp, err := g.mutate(r.Context(), req.ID, func(ctx context.Context, b *backend) (*server.MutateResponse, bool, error) {
+		mr, err := b.cl.DeleteCtx(ctx, req.ID)
+		if err != nil {
+			return nil, false, err
+		}
+		return mr, mr.Found, nil
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Found {
+		g.learn(req.ID, -1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (g *Gateway) handleModify(w http.ResponseWriter, r *http.Request) error {
+	var req server.ModifyRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.File.ID == 0 {
+		return badRequestf("modify: missing id")
+	}
+	// The wire record forwards as-is: the owning backend applies the
+	// partial-attribute merge against its stored vector.
+	resp, err := g.mutate(r.Context(), req.File.ID, func(ctx context.Context, b *backend) (*server.MutateResponse, bool, error) {
+		mr, err := b.cl.ModifyRecord(ctx, req.File)
+		if err != nil {
+			return nil, false, err
+		}
+		return mr, mr.Found, nil
+	})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (g *Gateway) handleFlush(w http.ResponseWriter, r *http.Request) error {
+	healthy := g.healthy()
+	if len(healthy) == 0 {
+		return errAllDown
+	}
+	resps := make([]*server.FlushResponse, len(healthy))
+	errs := make([]error, len(healthy))
+	var wg sync.WaitGroup
+	for i, b := range healthy {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			resps[i], errs[i] = b.cl.FlushCtx(r.Context())
+		}(i, b)
+	}
+	wg.Wait()
+	var out server.FlushResponse
+	for i, err := range errs {
+		if err != nil {
+			if !isClientError(err) {
+				g.markDown(healthy[i])
+			}
+			return badGatewayf(err, "flush: backend %s failed", healthy[i].name)
+		}
+		out.Epoch += resps[i].Epoch
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// handleStats aggregates the healthy backends' store stats (sums for
+// sizes and the composed epoch, max for heights) and adds the gateway's
+// own membership and serving sections. Down members appear in the
+// membership rows with zeroed stats — the gap is visible, not elided.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) error {
+	stats := make([]*server.StatsResponse, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		if !b.up.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			st, err := b.cl.Stats()
+			if err != nil {
+				g.markDown(b)
+				return
+			}
+			stats[i] = st
+		}(i, b)
+	}
+	wg.Wait()
+
+	out := server.StatsResponse{
+		Gateway: &server.GatewayWire{},
+		Build: server.BuildWire{
+			GoVersion: g.build.GoVersion,
+			Module:    g.build.Module,
+			Version:   g.build.Version,
+			Revision:  g.build.Revision,
+			Dirty:     g.build.Dirty,
+		},
+		Server: server.ServerStats{
+			UptimeSec: time.Since(g.start).Seconds(),
+			Requests:  g.requests.Load(),
+			Rejected:  g.rejected.Load(),
+			Workers:   g.opts.Workers,
+			MaxQueue:  g.opts.MaxQueue,
+		},
+	}
+	for i, b := range g.backends {
+		row := server.BackendWire{Backend: b.name, Healthy: stats[i] != nil}
+		if st := stats[i]; st != nil {
+			row.Files = st.Store.Files
+			row.Epoch = st.Store.Epoch
+			out.Gateway.Healthy++
+			out.Store.Units += st.Store.Units
+			out.Store.IndexUnits += st.Store.IndexUnits
+			out.Store.Files += st.Store.Files
+			out.Store.Trees += st.Store.Trees
+			out.Store.IndexBytesTotal += st.Store.IndexBytesTotal
+			out.Store.Epoch += st.Store.Epoch
+			out.Store.Shards += st.Store.Shards
+			if st.Store.TreeHeight > out.Store.TreeHeight {
+				out.Store.TreeHeight = st.Store.TreeHeight
+			}
+			if st.Store.IndexBytesPerNode > out.Store.IndexBytesPerNode {
+				out.Store.IndexBytesPerNode = st.Store.IndexBytesPerNode
+			}
+		}
+		out.Gateway.Backends = append(out.Gateway.Backends, row)
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}

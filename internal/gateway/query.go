@@ -1,0 +1,264 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	smartstore "repro"
+	"repro/internal/client"
+	"repro/internal/merge"
+	"repro/internal/server"
+)
+
+// errAllDown is returned when no backend can serve a request; the
+// handler maps it to 503 so clients know to retry, not to a 500.
+var errAllDown = errors.New("gateway: no healthy backends")
+
+// backendAnswer is one backend's contribution to a fanned-out query.
+type backendAnswer struct {
+	b    *backend
+	resp *server.QueryResponse
+	err  error
+	dur  time.Duration
+}
+
+// isClientError reports a 4xx reply — the query itself is at fault, so
+// the whole gateway request fails instead of degrading.
+func isClientError(err error) bool {
+	var se *client.StatusError
+	return errors.As(err, &se) && se.Code >= 400 && se.Code < 500
+}
+
+// execQuery runs one validated query across the federation: fan out to
+// the relevant healthy backends, merge exactly, degrade gracefully.
+// The returned backend traces are non-nil only when traced.
+func (g *Gateway) execQuery(ctx context.Context, q smartstore.Query, traced bool) (server.QueryResponse, []server.BackendTraceWire, error) {
+	healthy := g.healthy()
+	down := len(g.backends) - len(healthy)
+	if g.metrics != nil && down > 0 {
+		g.metrics.backendsDown.Add(uint64(down))
+	}
+	if len(healthy) == 0 {
+		return server.QueryResponse{}, nil, errAllDown
+	}
+
+	// Off-line top-k routes to the backends whose placement centroids
+	// are most correlated with the query point — the network-level
+	// analogue of the engine's shard routing. Every other path is a
+	// full healthy fan-out (exactness needs every member's answer).
+	targets := healthy
+	if q.Kind == smartstore.KindTopK && q.Options.Mode == smartstore.ModeOffline && len(healthy) > 1 {
+		targets = g.nearestBackends(healthy, q.Attrs, q.Point, offlineMaxBackends(len(healthy)))
+	}
+	if g.metrics != nil {
+		g.metrics.backendsVisited.Add(uint64(len(targets)))
+		g.metrics.backendsPruned.Add(uint64(len(healthy) - len(targets)))
+	}
+
+	// The forwarded form: top-k needs every backend's local top k with
+	// true distances — a per-backend limit could cut candidates the
+	// global merge keeps, so the limit is applied after the merge.
+	fq := q
+	if q.Kind == smartstore.KindTopK {
+		fq.Options.IncludeDists = true
+		fq.Options.Limit = 0
+	}
+
+	answers := make([]backendAnswer, len(targets))
+	var wg sync.WaitGroup
+	for i, b := range targets {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			cl := b.cl
+			if traced {
+				cl = b.tcl
+			}
+			start := time.Now()
+			resp, err := cl.Query(ctx, fq)
+			answers[i] = backendAnswer{b: b, resp: resp, err: err, dur: time.Since(start)}
+			if g.metrics != nil {
+				g.metrics.observeBackendQuery(b.name, answers[i].dur)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	var ok []backendAnswer
+	failed := 0
+	for _, a := range answers {
+		switch {
+		case a.err == nil:
+			ok = append(ok, a)
+		case isClientError(a.err):
+			// The backend rejected the query itself — our forwarding or
+			// the client's query is malformed; degradation doesn't apply.
+			return server.QueryResponse{}, nil, a.err
+		default:
+			// Transport failure or backend pressure after retries: treat
+			// the member as down for subsequent fan-outs and degrade.
+			failed++
+			g.markDown(a.b)
+			if g.metrics != nil {
+				g.metrics.backendsDown.Add(1)
+			}
+		}
+	}
+	if len(ok) == 0 {
+		return server.QueryResponse{}, nil, errAllDown
+	}
+
+	resp := g.mergeAnswers(q, ok)
+	resp.Partial = down > 0 || failed > 0
+	if resp.Partial && g.metrics != nil {
+		g.metrics.partialResponses.Inc()
+	}
+
+	var traces []server.BackendTraceWire
+	if traced {
+		traces = make([]server.BackendTraceWire, 0, len(g.backends))
+		for _, a := range answers {
+			bt := server.BackendTraceWire{Backend: a.b.name, Ms: ms(a.dur), Down: a.err != nil && !isClientError(a.err)}
+			if a.resp != nil {
+				bt.Trace = a.resp.Trace
+			}
+			traces = append(traces, bt)
+		}
+		for _, b := range g.backends {
+			if !containsBackend(answers, b) {
+				traces = append(traces, server.BackendTraceWire{Backend: b.name, Down: true})
+			}
+		}
+	}
+	return resp, traces, nil
+}
+
+func containsBackend(answers []backendAnswer, b *backend) bool {
+	for _, a := range answers {
+		if a.b == b {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeAnswers folds the per-backend answers with the shared exact
+// rules: union for point/range, (dist,id)-ordered bounded-heap top-k.
+func (g *Gateway) mergeAnswers(q smartstore.Query, ok []backendAnswer) server.QueryResponse {
+	out := server.QueryResponse{Kind: q.Kind.String()}
+
+	var ids []uint64
+	var dists []float64
+	switch q.Kind {
+	case smartstore.KindTopK:
+		lists := make([][]merge.Cand, len(ok))
+		for i, a := range ok {
+			l := make([]merge.Cand, len(a.resp.IDs))
+			for j, id := range a.resp.IDs {
+				var d float64
+				if j < len(a.resp.Dists) {
+					d = a.resp.Dists[j]
+				}
+				l[j] = merge.Cand{ID: id, Dist: d}
+			}
+			lists[i] = l
+		}
+		cands := merge.TopK(lists, q.K)
+		ids = make([]uint64, len(cands))
+		dists = make([]float64, len(cands))
+		for i, c := range cands {
+			ids[i] = c.ID
+			dists[i] = c.Dist
+		}
+	default:
+		lists := make([][]uint64, len(ok))
+		for i, a := range ok {
+			lists[i] = a.resp.IDs
+		}
+		var dups int
+		ids, dups = merge.Union(lists)
+		if dups > 0 && g.metrics != nil {
+			// Two backends claiming one id means the id spaces overlap —
+			// a misprovisioned federation; surfaced, not double-counted.
+			g.metrics.duplicateIDs.Add(uint64(dups))
+		}
+		for _, a := range ok {
+			if a.resp.Truncated {
+				out.Truncated = true
+			}
+		}
+	}
+
+	if q.Options.Limit > 0 && len(ids) > q.Options.Limit {
+		ids = ids[:q.Options.Limit]
+		if dists != nil {
+			dists = dists[:q.Options.Limit]
+		}
+		out.Truncated = true
+	}
+	out.IDs = ids
+	out.Count = len(ids)
+	if q.Options.IncludeDists && q.Kind == smartstore.KindTopK {
+		out.Dists = dists
+	}
+
+	if q.Options.IncludeRecords {
+		recs := make(map[uint64]server.FileRecord)
+		for _, a := range ok {
+			for _, r := range a.resp.Records {
+				if _, dup := recs[r.ID]; !dup {
+					recs[r.ID] = r
+				}
+			}
+		}
+		out.Records = make([]server.FileRecord, 0, len(ids))
+		for _, id := range ids {
+			if r, found := recs[id]; found {
+				out.Records = append(out.Records, r)
+			}
+		}
+	}
+
+	// Reports compose across backends like across shards: wall time is
+	// the slowest member (they ran in parallel), work and traffic sum,
+	// and crossing into each additional contributing member adds a hop.
+	contributing := 0
+	for i, a := range ok {
+		r := a.resp.Report
+		if len(a.resp.IDs) > 0 {
+			contributing++
+		}
+		if i == 0 {
+			out.Report = r
+			continue
+		}
+		if r.LatencySec > out.Report.LatencySec {
+			out.Report.LatencySec = r.LatencySec
+		}
+		if r.VersionLatencySec > out.Report.VersionLatencySec {
+			out.Report.VersionLatencySec = r.VersionLatencySec
+		}
+		out.Report.Messages += r.Messages
+		out.Report.Hops += r.Hops
+		out.Report.UnitsSearched += r.UnitsSearched
+		out.Report.VersionChecked += r.VersionChecked
+	}
+	if contributing > 1 {
+		out.Report.Hops += contributing - 1
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// badRequestf is a gateway-side 400 with formatted message.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}

@@ -13,16 +13,19 @@ import (
 
 // queryCache is an LRU over query results, keyed by the normalized
 // unified query text (kind, resolved execution mode, limit, projection
-// flag, and dimensions sorted by attribute id) so two queries that can
-// answer differently — a different mode, limit, or record projection —
-// never collide on one entry. Each entry carries the store's mutation
-// epoch observed *before* the result was computed; a lookup whose epoch
-// differs drops the entry, so one mutation invalidates the whole cache
-// at the cost of a counter compare per hit — no tracking of which
-// groups a write touched. Tagging with the pre-query epoch keeps the
-// race with a concurrent writer safe: a result computed while a
-// mutation lands is at worst invalidated one lookup early, never served
-// stale.
+// flags, and dimensions sorted by attribute id) so two queries that can
+// answer differently — a different mode, limit, or projection — never
+// collide on one entry. Each entry carries the per-shard mutation
+// epochs of exactly the shards the query targeted, observed *before*
+// the result was computed; a lookup compares each target shard's
+// current epoch against the entry's and drops the entry on any
+// mismatch — so a write to shard 3 stops evicting shard 0's hot
+// entries. The target set is data-independent (routing reads only the
+// query and the frozen placement centroids), so an entry's target
+// epochs cover every shard whose state the answer is a function of.
+// Tagging with the pre-query epochs keeps the race with a concurrent
+// writer safe: a result computed while a mutation lands is at worst
+// invalidated one lookup early, never served stale.
 type queryCache struct {
 	mu      sync.Mutex
 	max     int
@@ -33,20 +36,35 @@ type queryCache struct {
 }
 
 // cacheEntry stores the full wire response (ids, records, truncation,
-// report) with the Cached bit cleared; get stamps it on hits.
+// report) with the Cached bit cleared; get stamps it on hits. targets
+// and epochs are aligned: epochs[i] is shard targets[i]'s epoch
+// observed before the result was computed.
 type cacheEntry struct {
-	key   string
-	epoch uint64
-	resp  QueryResponse
+	key     string
+	targets []int
+	epochs  []uint64
+	resp    QueryResponse
+}
+
+// freshAt reports whether every target shard's epoch still matches the
+// entry. A target outside the current epoch vector (impossible without
+// a shard-count change) fails closed.
+func (e *cacheEntry) freshAt(cur []uint64) bool {
+	for i, t := range e.targets {
+		if t < 0 || t >= len(cur) || cur[t] != e.epochs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func newQueryCache(max int) *queryCache {
 	return &queryCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached response for key if present and computed at
-// the given epoch.
-func (c *queryCache) get(key string, epoch uint64) (QueryResponse, bool) {
+// get returns the cached response for key if present and fresh against
+// the current per-shard epoch vector.
+func (c *queryCache) get(key string, epochs []uint64) (QueryResponse, bool) {
 	if c == nil {
 		return QueryResponse{}, false
 	}
@@ -58,7 +76,7 @@ func (c *queryCache) get(key string, epoch uint64) (QueryResponse, bool) {
 		return QueryResponse{}, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if ent.epoch != epoch {
+	if !ent.freshAt(epochs) {
 		c.ll.Remove(el)
 		delete(c.entries, key)
 		c.invalidations++
@@ -72,21 +90,32 @@ func (c *queryCache) get(key string, epoch uint64) (QueryResponse, bool) {
 	return resp, true
 }
 
-// put stores a response computed at the given epoch, evicting the least
-// recently used entry when full.
-func (c *queryCache) put(key string, epoch uint64, resp QueryResponse) {
-	if c == nil || c.max <= 0 {
+// put stores a response that targeted the given shards, pairing it
+// with those shards' entries in the pre-query epoch vector, evicting
+// the least recently used entry when full. An empty target set (a
+// serving layer that cannot attribute the answer to specific shards)
+// would never invalidate, so it is not cached.
+func (c *queryCache) put(key string, targets []int, epochs []uint64, resp QueryResponse) {
+	if c == nil || c.max <= 0 || len(targets) == 0 {
 		return
 	}
+	selected := make([]uint64, len(targets))
+	for i, t := range targets {
+		if t < 0 || t >= len(epochs) {
+			return
+		}
+		selected[i] = epochs[t]
+	}
 	resp.Cached = false
+	ent := &cacheEntry{key: key, targets: targets, epochs: selected, resp: resp}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value = &cacheEntry{key: key, epoch: epoch, resp: resp}
+		el.Value = ent
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, resp: resp})
+	c.entries[key] = c.ll.PushFront(ent)
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
@@ -155,6 +184,9 @@ func queryKey(q smartstore.Query, mode smartstore.QueryMode) string {
 	b.WriteString(strconv.Itoa(q.Options.Limit))
 	if q.Options.IncludeRecords {
 		b.WriteString("|rec")
+	}
+	if q.Options.IncludeDists {
+		b.WriteString("|dst")
 	}
 	switch q.Kind {
 	case smartstore.KindPoint:

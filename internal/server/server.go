@@ -254,26 +254,29 @@ func (s *Server) resolveMode(m smartstore.QueryMode) smartstore.QueryMode {
 	return smartstore.ModeOffline
 }
 
-// execQuery runs one validated query through the epoch-keyed cache: the
-// epoch is observed before executing so a mutation landing mid-query
-// can only invalidate early, never leave a stale entry behind.
+// execQuery runs one validated query through the cache, which keys
+// invalidation on the epochs of exactly the shards the query targets.
+// The epoch vector is observed before executing so a mutation landing
+// mid-query can only invalidate early, never leave a stale entry
+// behind.
 func (s *Server) execQuery(ctx context.Context, q smartstore.Query) (QueryResponse, error) {
 	if s.cache == nil {
-		return s.runQuery(ctx, q)
+		resp, _, err := s.runQuery(ctx, q)
+		return resp, err
 	}
 	key := queryKey(q, s.resolveMode(q.Options.Mode))
-	epoch := s.store.Epoch()
+	epochs := s.store.ShardEpochs()
 	if tr := obs.TraceFrom(ctx); tr != nil {
 		lookupStart := time.Now()
-		resp, ok := s.cache.get(key, epoch)
+		resp, ok := s.cache.get(key, epochs)
 		tr.AddPhase("cache_lookup", time.Since(lookupStart))
 		if ok {
 			return resp, nil
 		}
-	} else if resp, ok := s.cache.get(key, epoch); ok {
+	} else if resp, ok := s.cache.get(key, epochs); ok {
 		return resp, nil
 	}
-	resp, err := s.runQuery(ctx, q)
+	resp, targets, err := s.runQuery(ctx, q)
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -282,7 +285,7 @@ func (s *Server) execQuery(ctx context.Context, q smartstore.Query) (QueryRespon
 	// projected answers could otherwise pin corpus-sized record arrays
 	// across every cache slot.
 	if len(resp.Records) <= maxCachedRecords {
-		s.cache.put(key, epoch, resp)
+		s.cache.put(key, targets, epochs, resp)
 	}
 	return resp, nil
 }
@@ -291,8 +294,10 @@ func (s *Server) execQuery(ctx context.Context, q smartstore.Query) (QueryRespon
 // entry may hold; larger answers recompute on every request.
 const maxCachedRecords = 1024
 
-// runQuery executes q against the store and shapes the wire response.
-func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryResponse, error) {
+// runQuery executes q against the store and shapes the wire response,
+// also returning the engine shard set the query targeted (the cache's
+// invalidation key).
+func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryResponse, []int, error) {
 	tr := obs.TraceFrom(ctx)
 	var execStart time.Time
 	if tr != nil {
@@ -304,15 +309,16 @@ func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryRespons
 	}
 	if err != nil {
 		if errors.Is(err, smartstore.ErrInvalidQuery) {
-			return QueryResponse{}, badRequestError{err}
+			return QueryResponse{}, nil, badRequestError{err}
 		}
-		return QueryResponse{}, err
+		return QueryResponse{}, nil, err
 	}
 	resp := QueryResponse{
 		Kind:      q.Kind.String(),
 		IDs:       res.IDs,
 		Count:     len(res.IDs),
 		Truncated: res.Truncated,
+		Dists:     res.Dists,
 		Report:    wireReport(res.Report),
 	}
 	if q.Options.IncludeRecords {
@@ -321,7 +327,7 @@ func (s *Server) runQuery(ctx context.Context, q smartstore.Query) (QueryRespons
 			resp.Records[i] = RecordFromFile(&res.Records[i])
 		}
 	}
-	return resp, nil
+	return resp, res.Shards, nil
 }
 
 // maxBatchQueries bounds one /v1/query batch; beyond it the request is
@@ -571,7 +577,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			AutoCheckpointFailures: ws.AutoCheckpointFailures,
 		}
 	}
+	placement := s.store.Placement()
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Placement: &PlacementWire{
+			Attrs:     AttrNames(placement.Attrs),
+			Centroid:  placement.Centroid,
+			Lo:        placement.Lo,
+			Hi:        placement.Hi,
+			MaxFileID: s.store.MaxFileID(),
+		},
 		Build: BuildWire{
 			GoVersion: s.build.GoVersion,
 			Module:    s.build.Module,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -415,10 +416,12 @@ func TestAdmissionShedsLoadWhenSaturated(t *testing.T) {
 func TestQueryCacheLRUAndEpoch(t *testing.T) {
 	c := newQueryCache(2)
 	resp := QueryResponse{IDs: []uint64{1}, Count: 1, Report: Report{Messages: 3}}
-	c.put("a", 1, resp)
-	c.put("b", 1, resp)
+	all := []int{0, 1}
+	epochs := []uint64{1, 1}
+	c.put("a", all, epochs, resp)
+	c.put("b", all, epochs, resp)
 
-	got, ok := c.get("a", 1)
+	got, ok := c.get("a", epochs)
 	if !ok {
 		t.Fatal("a missing")
 	}
@@ -426,16 +429,16 @@ func TestQueryCacheLRUAndEpoch(t *testing.T) {
 		t.Fatalf("cached response mangled: %+v", got)
 	}
 	// a is now most recent; inserting c evicts b.
-	c.put("c", 1, resp)
-	if _, ok := c.get("b", 1); ok {
+	c.put("c", all, epochs, resp)
+	if _, ok := c.get("b", epochs); ok {
 		t.Fatal("b not evicted as LRU")
 	}
-	if _, ok := c.get("a", 1); !ok {
+	if _, ok := c.get("a", epochs); !ok {
 		t.Fatal("a evicted despite being MRU")
 	}
 
-	// Epoch mismatch invalidates.
-	if _, ok := c.get("a", 2); ok {
+	// A target shard's epoch moving invalidates.
+	if _, ok := c.get("a", []uint64{1, 2}); ok {
 		t.Fatal("stale-epoch entry served")
 	}
 	st := c.stats()
@@ -445,9 +448,48 @@ func TestQueryCacheLRUAndEpoch(t *testing.T) {
 
 	// A nil cache (caching disabled) is inert.
 	var disabled *queryCache
-	disabled.put("x", 1, resp)
-	if _, ok := disabled.get("x", 1); ok {
+	disabled.put("x", all, epochs, resp)
+	if _, ok := disabled.get("x", epochs); ok {
 		t.Fatal("nil cache returned a hit")
+	}
+}
+
+// TestQueryCachePerShardInvalidation is the ROADMAP follow-up contract:
+// an entry keyed on a target subset of shards survives writes that
+// land on shards outside that subset.
+func TestQueryCachePerShardInvalidation(t *testing.T) {
+	c := newQueryCache(4)
+	resp := QueryResponse{IDs: []uint64{9}, Count: 1}
+	// Entry targeting only shard 0 of a 4-shard deployment.
+	c.put("hot", []int{0}, []uint64{5, 7, 2, 9}, resp)
+
+	// Writes on shards 1..3 move their epochs; shard 0 untouched.
+	if _, ok := c.get("hot", []uint64{5, 8, 3, 11}); !ok {
+		t.Fatal("entry invalidated by writes on non-target shards")
+	}
+	// A write on shard 0 invalidates.
+	if _, ok := c.get("hot", []uint64{6, 8, 3, 11}); ok {
+		t.Fatal("entry survived a write on its target shard")
+	}
+
+	// A multi-target entry invalidates on any of its targets.
+	c.put("pair", []int{1, 3}, []uint64{5, 7, 2, 9}, resp)
+	if _, ok := c.get("pair", []uint64{99, 7, 88, 9}); !ok {
+		t.Fatal("pair entry invalidated by non-target shards")
+	}
+	if _, ok := c.get("pair", []uint64{5, 7, 2, 10}); ok {
+		t.Fatal("pair entry survived a target-shard write")
+	}
+
+	// An empty target set is never cached (it could never invalidate).
+	c.put("none", nil, []uint64{1}, resp)
+	if _, ok := c.get("none", []uint64{1}); ok {
+		t.Fatal("target-less entry cached")
+	}
+	// A target outside the epoch vector fails closed on lookup.
+	c.put("wide", []int{3}, []uint64{1, 1, 1, 1}, resp)
+	if _, ok := c.get("wide", []uint64{1, 1}); ok {
+		t.Fatal("entry with out-of-range target served")
 	}
 }
 
@@ -487,5 +529,123 @@ func TestCacheKeyNormalization(t *testing.T) {
 	projected := base.WithOptions(smartstore.QueryOptions{IncludeRecords: true})
 	if queryKey(projected, smartstore.ModeOffline) == offline {
 		t.Fatal("include_records not part of key")
+	}
+}
+
+// TestServedCachePerShardOverWire drives the per-shard invalidation
+// contract end to end: a cached off-line top-k (which targets a strict
+// subset of a 4-shard store) must survive wire inserts that land on
+// shards outside its target set, and invalidate when one lands inside.
+func TestServedCachePerShardOverWire(t *testing.T) {
+	set, err := smartstore.GenerateTrace("MSN", 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 16, Shards: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(store, Options{}))
+	defer ts.Close()
+
+	wq := map[string]any{
+		"kind": "topk", "attrs": defaultNames(),
+		"point": []float64{40000, 3e7, 6e7}, "k": 5, "mode": "offline",
+	}
+	// A traced first execution reveals the engine's target shard set.
+	body, _ := json.Marshal(wq)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/query", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "1")
+	hres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced QueryResponse
+	if err := json.NewDecoder(hres.Body).Decode(&traced); err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if traced.Trace == nil || len(traced.Trace.Shards) == 0 {
+		t.Fatalf("traced query carried no shard breakdown: %+v", traced.Trace)
+	}
+	targets := map[int]bool{}
+	for _, sh := range traced.Trace.Shards {
+		targets[sh.Shard] = true
+	}
+	if len(targets) >= 4 {
+		t.Fatalf("off-line top-k targeted every shard (%v); the survival case needs a strict subset", targets)
+	}
+
+	query := func() QueryResponse {
+		var resp QueryResponse
+		if code := postJSON(t, ts.URL+"/v1/query", wq, &resp); code != http.StatusOK {
+			t.Fatalf("query answered %d", code)
+		}
+		return resp
+	}
+	if !query().Cached {
+		t.Fatal("second execution not served from cache")
+	}
+
+	shardEpochs := func() []uint64 {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, len(st.Store.PerShard))
+		for i, p := range st.Store.PerShard {
+			out[i] = p.Epoch
+		}
+		return out
+	}
+
+	prev := shardEpochs()
+	survived, invalidated := 0, 0
+	for i := 0; i < 40 && (survived == 0 || invalidated == 0); i++ {
+		src := set.Files[(i*31)%len(set.Files)]
+		ins := map[string]any{"files": []map[string]any{{
+			"path": fmt.Sprintf("/cacheprobe/%d.dat", i),
+			"attrs": map[string]float64{
+				"mtime":       src.Attrs[metadata.AttrMTime],
+				"read_bytes":  src.Attrs[metadata.AttrReadBytes],
+				"write_bytes": src.Attrs[metadata.AttrWriteBytes],
+			},
+		}}}
+		if code := postJSON(t, ts.URL+"/v1/insert", ins, nil); code != http.StatusOK {
+			t.Fatalf("probe insert answered %d", code)
+		}
+		cur := shardEpochs()
+		mutated := -1
+		for s := range cur {
+			if cur[s] != prev[s] {
+				mutated = s
+			}
+		}
+		prev = cur
+		if mutated < 0 {
+			t.Fatal("insert advanced no shard epoch")
+		}
+		got := query()
+		if targets[mutated] {
+			if got.Cached {
+				t.Fatalf("write on target shard %d left the entry cached", mutated)
+			}
+			invalidated++
+			// The re-execution just re-primed the cache with fresh epochs.
+		} else {
+			if !got.Cached {
+				t.Fatalf("write on non-target shard %d invalidated the entry", mutated)
+			}
+			survived++
+		}
+	}
+	if survived == 0 || invalidated == 0 {
+		t.Fatalf("probe placement never exercised both cases: survived=%d invalidated=%d", survived, invalidated)
 	}
 }

@@ -112,6 +112,10 @@ type WireQuery struct {
 	Limit int `json:"limit,omitempty"`
 	// IncludeRecords inlines full file records in the response.
 	IncludeRecords bool `json:"include_records,omitempty"`
+	// IncludeDists inlines each top-k answer id's true normalized
+	// squared distance — what a federating gateway needs to merge
+	// per-backend answers exactly. Ignored by point and range queries.
+	IncludeDists bool `json:"include_dists,omitempty"`
 }
 
 // Query resolves the wire form to a validated smartstore.Query. Every
@@ -136,6 +140,7 @@ func (wq WireQuery) Query() (smartstore.Query, error) {
 			Mode:           mode,
 			Limit:          wq.Limit,
 			IncludeRecords: wq.IncludeRecords,
+			IncludeDists:   wq.IncludeDists,
 		},
 	}
 	if kind == smartstore.KindPoint {
@@ -168,6 +173,7 @@ func QueryToWire(q smartstore.Query) WireQuery {
 		Mode:           q.Options.Mode.String(),
 		Limit:          q.Options.Limit,
 		IncludeRecords: q.Options.IncludeRecords,
+		IncludeDists:   q.Options.IncludeDists,
 	}
 	if len(q.Attrs) > 0 {
 		wq.Attrs = AttrNames(q.Attrs)
@@ -219,13 +225,22 @@ type TopKRequest struct {
 // that a limit cut the answer; Error is set only on batch items that
 // failed after admission.
 type QueryResponse struct {
-	Kind      string       `json:"kind,omitempty"`
-	IDs       []uint64     `json:"ids"`
-	Count     int          `json:"count"`
-	Truncated bool         `json:"truncated,omitempty"`
-	Cached    bool         `json:"cached"`
-	Records   []FileRecord `json:"records,omitempty"`
-	Report    Report       `json:"report"`
+	Kind      string   `json:"kind,omitempty"`
+	IDs       []uint64 `json:"ids"`
+	Count     int      `json:"count"`
+	Truncated bool     `json:"truncated,omitempty"`
+	Cached    bool     `json:"cached"`
+	// Dists carries, aligned with IDs, each top-k candidate's true
+	// normalized squared distance when the query asked for
+	// include_dists.
+	Dists   []float64    `json:"dists,omitempty"`
+	Records []FileRecord `json:"records,omitempty"`
+	// Partial flags an answer computed without every relevant backend —
+	// a gateway degraded by a down member answers with what the healthy
+	// backends hold instead of failing, and marks the gap here. A
+	// single-store server never sets it.
+	Partial bool   `json:"partial,omitempty"`
+	Report  Report `json:"report"`
 	// Trace is the per-phase timing breakdown, present only when the
 	// request carried the X-Smartstore-Trace header.
 	Trace *TraceWire `json:"trace,omitempty"`
@@ -242,6 +257,21 @@ type TraceWire struct {
 	TotalMs float64     `json:"total_ms"`
 	Phases  []PhaseWire `json:"phases"`
 	Shards  []ShardWire `json:"shards,omitempty"`
+	// Backends breaks a gateway's execute phase down per backend,
+	// nesting each backend's own trace when the backend returned one.
+	Backends []BackendTraceWire `json:"backends,omitempty"`
+}
+
+// BackendTraceWire is one backend's share of a gateway fan-out.
+type BackendTraceWire struct {
+	Backend string  `json:"backend"`
+	Ms      float64 `json:"ms"`
+	// Down marks a backend that was skipped (marked unhealthy) or
+	// failed mid-query.
+	Down bool `json:"down,omitempty"`
+	// Trace is the backend's own per-phase breakdown, propagated when
+	// the gateway forwarded the trace header.
+	Trace *TraceWire `json:"trace,omitempty"`
 }
 
 // PhaseWire is one named serving phase.
@@ -358,12 +388,45 @@ type WALStats struct {
 	AutoCheckpointFailures uint64 `json:"auto_checkpoint_failures"`
 }
 
-// StatsResponse answers GET /v1/stats.
+// PlacementWire summarizes a store's semantic placement for a
+// federating gateway: the placement attributes, the file-count-weighted
+// centroid in raw attribute units, the raw normalization bounds per
+// attribute, and the largest stored file id (the base a gateway
+// allocates fresh ids above).
+type PlacementWire struct {
+	Attrs     []string  `json:"attrs"`
+	Centroid  []float64 `json:"centroid"`
+	Lo        []float64 `json:"lo"`
+	Hi        []float64 `json:"hi"`
+	MaxFileID uint64    `json:"max_file_id"`
+}
+
+// BackendWire is one backend's membership row in a gateway's stats.
+type BackendWire struct {
+	Backend string `json:"backend"`
+	Healthy bool   `json:"healthy"`
+	Files   int    `json:"files"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// GatewayWire is the gateway's own stats section: the static
+// membership with per-backend health, and the healthy count.
+type GatewayWire struct {
+	Backends []BackendWire `json:"backends"`
+	Healthy  int           `json:"healthy"`
+}
+
+// StatsResponse answers GET /v1/stats. Placement is present on a
+// single store (what a gateway reads at bootstrap); Gateway is present
+// only on a gateway, whose Store section aggregates across the healthy
+// backends.
 type StatsResponse struct {
-	Store  StoreStats  `json:"store"`
-	Server ServerStats `json:"server"`
-	WAL    *WALStats   `json:"wal,omitempty"`
-	Build  BuildWire   `json:"build"`
+	Store     StoreStats     `json:"store"`
+	Server    ServerStats    `json:"server"`
+	WAL       *WALStats      `json:"wal,omitempty"`
+	Placement *PlacementWire `json:"placement,omitempty"`
+	Gateway   *GatewayWire   `json:"gateway,omitempty"`
+	Build     BuildWire      `json:"build"`
 }
 
 // BuildWire identifies the serving binary.

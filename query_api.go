@@ -106,6 +106,11 @@ type QueryOptions struct {
 	// IncludeRecords projects full File records into Result.Records so
 	// the answer needs no follow-up per-id lookups.
 	IncludeRecords bool
+	// IncludeDists resolves each top-k answer id's true normalized
+	// squared distance into Result.Dists — what a federating gateway
+	// needs to merge per-store answers exactly. Ignored by point and
+	// range queries.
+	IncludeDists bool
 }
 
 // Query is one composable request against the store: a kind plus its
@@ -190,6 +195,10 @@ func (q Query) Validate() error {
 type Result struct {
 	// IDs are the matching file ids (for top-k, in ascending distance).
 	IDs []uint64
+	// Dists carries, aligned with IDs, each candidate's true normalized
+	// squared distance for top-k queries run with
+	// QueryOptions.IncludeDists.
+	Dists []float64
 	// Records carries the full metadata record per id, in IDs order,
 	// when QueryOptions.IncludeRecords is set.
 	Records []File
@@ -197,6 +206,12 @@ type Result struct {
 	Truncated bool
 	// Report is the virtual-time accounting of the execution.
 	Report QueryReport
+	// Shards lists the engine shard indices the query fanned out to —
+	// the exact shard set whose state the answer is a function of. The
+	// set is data-independent (routing reads only the query and the
+	// frozen placement centroids), so a cache keyed on these shards'
+	// epochs can never serve a stale answer.
+	Shards []int
 }
 
 // Do executes one query. It is the single entry point all query paths
@@ -231,6 +246,7 @@ func (s *Store) Do(ctx context.Context, q Query) (Result, error) {
 		Online:         online,
 		Limit:          q.Options.Limit,
 		IncludeRecords: q.Options.IncludeRecords,
+		IncludeDists:   q.Options.IncludeDists,
 	}
 
 	var ans engine.Answer
@@ -256,9 +272,11 @@ func (s *Store) Do(ctx context.Context, q Query) (Result, error) {
 	}
 	return Result{
 		IDs:       ans.IDs,
+		Dists:     ans.Dists,
 		Records:   ans.Records,
 		Truncated: ans.Truncated,
 		Report:    fromEngineReport(ans.Report),
+		Shards:    ans.Targets,
 	}, nil
 }
 

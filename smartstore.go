@@ -82,6 +82,23 @@ type File = metadata.File
 // TraceSet is a generated workload (see GenerateTrace).
 type TraceSet = trace.Set
 
+// Normalizer maps raw attribute values into the shared [0,1] semantic
+// space all distances are computed in. Every store fits its own over
+// its build corpus by default; a federation of stores must instead
+// share one (see Config.Normalizer) so top-k distances computed on
+// different backends are comparable and a gateway's merged answers
+// match a single store's exactly.
+type Normalizer = metadata.Normalizer
+
+// FitNormalizer fits a normalizer over the given corpus — the handle a
+// multi-store deployment builds once over the union of its backends'
+// populations and passes to every backend's Config.Normalizer.
+func FitNormalizer(files []*File) *Normalizer {
+	n := &Normalizer{}
+	n.Fit(files)
+	return n
+}
+
 // Mode selects the complex-query execution path of §3.3–3.4.
 type Mode int
 
@@ -166,6 +183,11 @@ type Config struct {
 	// retire more promptly after a checkpoint; larger ones rotate less
 	// often.
 	WALSegmentBytes int64
+	// Normalizer, when set and fitted, overrides the normalizer Build
+	// would fit over the corpus. Stores federated behind one gateway
+	// must share a normalizer fitted over the union of their corpora
+	// (FitNormalizer) so cross-store distances agree.
+	Normalizer *Normalizer
 }
 
 // engineConfig maps the public configuration onto the engine layer's.
@@ -190,6 +212,7 @@ func (cfg Config) engineConfig() engine.Config {
 			Seed:                cfg.Seed,
 			VirtualScale:        cfg.VirtualScale,
 		},
+		Norm: cfg.Normalizer,
 	}
 }
 
@@ -232,6 +255,30 @@ type Store struct {
 // the epoch observed before computing it and treat any mismatch as
 // invalidation.
 func (s *Store) Epoch() uint64 { return s.eng.Epoch() }
+
+// ShardEpochs snapshots every shard's mutation epoch in shard order.
+// Each entry is individually monotonic, so a result cache can pair each
+// entry with the epochs of exactly the shards the query targeted
+// (Result.Shards) and survive writes that landed elsewhere.
+func (s *Store) ShardEpochs() []uint64 { return s.eng.ShardEpochs() }
+
+// PlacementInfo summarizes the store's semantic placement for a
+// federating layer: the placement attributes, the file-count-weighted
+// centroid in raw attribute units, and the raw normalization bounds per
+// attribute.
+type PlacementInfo struct {
+	Attrs    []Attr
+	Centroid []float64
+	Lo, Hi   []float64
+}
+
+// Placement reports the store's placement summary — what a gateway
+// reads at bootstrap to route writes and off-line queries by
+// frozen-centroid distance, one level above the engine's shard routing.
+func (s *Store) Placement() PlacementInfo {
+	p := s.eng.Placement()
+	return PlacementInfo{Attrs: p.Attrs, Centroid: p.Centroid, Lo: p.Lo, Hi: p.Hi}
+}
 
 // QueryReport carries the accounting of one operation: virtual latency,
 // network messages, routing hops (groups beyond the first), and
