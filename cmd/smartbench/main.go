@@ -19,6 +19,7 @@
 //	smartbench -serve -clients 8 -ops 4000            # in-process server
 //	smartbench -remote localhost:7070 -clients 16     # running daemon
 //	smartbench -serve -mutate 0.05                    # 5% inserts in the mix
+//	smartbench -serve -wire binary                    # force the binary query codec
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
@@ -49,10 +51,16 @@ func main() {
 	jsonOut := flag.String("json", "", "service bench: write machine-readable results (throughput, p50/p95/p99) to this file")
 	scrape := flag.Bool("scrape", false, "service bench: scrape the daemon's /v1/metrics and fold its server-side per-op latency into the report")
 	noMetrics := flag.Bool("no-metrics", false, "service bench: build the in-process server with instrumentation disabled — the baseline for the overhead comparison")
+	wireFlag := flag.String("wire", "auto", "service bench: query codec — auto (negotiate binary), json, or binary")
 	flag.Parse()
 
 	if *serve || *remote != "" {
 		shards, err := parseShardList(*shardList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			os.Exit(2)
+		}
+		wireMode, err := client.ParseWireMode(*wireFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smartbench:", err)
 			os.Exit(2)
@@ -71,6 +79,7 @@ func main() {
 			jsonPath:  *jsonOut,
 			scrape:    *scrape,
 			noMetrics: *noMetrics,
+			wire:      wireMode,
 		}
 		if o.seed == 0 {
 			o.seed = 42

@@ -49,6 +49,7 @@ type serveBenchOpts struct {
 	jsonPath  string // write machine-readable results here ("" = skip)
 	scrape    bool   // fold the daemon's own histograms into the report
 	noMetrics bool   // in-process server with instrumentation disabled (overhead baseline)
+	wire      client.WireMode
 }
 
 type opSample struct {
@@ -71,14 +72,18 @@ type opStats struct {
 
 // benchResult is one pass's machine-readable outcome.
 type benchResult struct {
-	Shards     int                `json:"shards"`
-	Clients    int                `json:"clients"`
-	Ops        int                `json:"ops"`
-	Mutate     float64            `json:"mutate"`
-	WallSec    float64            `json:"wall_sec"`
-	Throughput float64            `json:"throughput_ops_per_sec"`
-	Errors     int                `json:"errors"`
-	PerOp      map[string]opStats `json:"per_op"`
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Ops        int     `json:"ops"`
+	Mutate     float64 `json:"mutate"`
+	WallSec    float64 `json:"wall_sec"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	Errors     int     `json:"errors"`
+	// Wire is the requested query codec mode; Codec is what the pass
+	// actually spoke after negotiation ("json" or "binary").
+	Wire  string             `json:"wire"`
+	Codec string             `json:"codec"`
+	PerOp map[string]opStats `json:"per_op"`
 	// ServerPerOp is the daemon's own view of the same pass (-scrape):
 	// per-op latency from the server-side histograms, HTTP round trip
 	// excluded. Quantiles are bucket-interpolated, so coarser than the
@@ -192,7 +197,7 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 		defer shutdown()
 	}
 
-	cl := client.New(addr)
+	cl := client.NewWithOptions(addr, client.Options{Wire: o.wire})
 	if !cl.Healthy() {
 		fmt.Fprintf(os.Stderr, "smartbench: no healthy smartstored at %s\n", addr)
 		return benchResult{Shards: shards}, 1
@@ -238,6 +243,12 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 		}
 	}
 	res := summarize(all, wall, o, shards, errs)
+	res.Wire = o.wire.String()
+	if cl.BinaryNegotiated() {
+		res.Codec = "binary"
+	} else {
+		res.Codec = "json"
+	}
 	if o.scrape {
 		post, err := scrapeServerHists(cl)
 		if err != nil {
@@ -372,8 +383,8 @@ func summarize(all []opSample, wall time.Duration, o serveBenchOpts, shards, err
 }
 
 func printServiceReport(res benchResult, all []opSample, wall time.Duration, o serveBenchOpts, cl *client.Client) {
-	fmt.Printf("\nservice bench: shards=%d clients=%d ops=%d mutate=%.2f wall=%.2fs throughput=%.0f ops/s\n",
-		res.Shards, o.clients, len(all), o.mutate, wall.Seconds(), res.Throughput)
+	fmt.Printf("\nservice bench: shards=%d clients=%d ops=%d mutate=%.2f codec=%s wall=%.2fs throughput=%.0f ops/s\n",
+		res.Shards, o.clients, len(all), o.mutate, res.Codec, wall.Seconds(), res.Throughput)
 	fmt.Printf("%-8s %8s %6s %8s %10s %10s %10s %10s\n",
 		"op", "count", "err", "cached", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
 	for _, op := range []string{"point", "range", "topk", "batch", "insert"} {

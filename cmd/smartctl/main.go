@@ -46,6 +46,7 @@ func main() {
 	records := flag.Bool("records", false, "inline full file records in query answers")
 	limit := flag.Int("limit", 0, "truncate query answers to at most this many ids (0 = unlimited)")
 	queryMode := flag.String("mode", "", "per-query mode override: offline or online (empty = store default)")
+	wireFlag := flag.String("wire", "auto", "remote query codec: auto (negotiate binary), json, or binary")
 	flag.Parse()
 
 	args := flag.Args()
@@ -62,7 +63,11 @@ func main() {
 		fatal(fmt.Errorf("the metrics verb reads a daemon's /v1/metrics; it needs -remote"))
 	}
 	if *remote != "" {
-		runRemote(*remote, args, opts)
+		wireMode, err := client.ParseWireMode(*wireFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runRemote(*remote, args, opts, wireMode)
 		return
 	}
 
@@ -183,8 +188,8 @@ func printLocal(q smartstore.Query, res smartstore.Result) {
 
 // runRemote executes one verb against a smartstored daemon through the
 // unified /v1/query endpoint.
-func runRemote(addr string, args []string, opts smartstore.QueryOptions) {
-	cl := client.New(addr)
+func runRemote(addr string, args []string, opts smartstore.QueryOptions, wire client.WireMode) {
+	cl := client.NewWithOptions(addr, client.Options{Wire: wire})
 	if args[0] == "metrics" {
 		printMetrics(cl)
 		return

@@ -1,10 +1,15 @@
-// Package client is the typed Go client of the smartstored HTTP/JSON
-// metadata service. It speaks the wire format of internal/server and
+// Package client is the typed Go client of the smartstored HTTP
+// metadata service. It speaks the wire format of internal/wire and
 // mirrors the root library API: Query and QueryBatch take
 // smartstore.Query values — kind, dimensions, per-query options — and
 // round-trip them through the unified POST /v1/query endpoint, with
 // context cancellation aborting the HTTP exchange. The legacy Point,
 // Range and TopK helpers remain as thin wrappers over Query.
+//
+// Queries default to the length-prefixed binary codec with automatic
+// JSON fallback: the client always advertises the codec via Accept,
+// and upgrades request bodies to binary once the server answers in it
+// (Options.Wire forces either codec). Mutations and stats stay JSON.
 //
 // Idempotent reads — queries, stats, metrics, health — can retry
 // transient failures (transport errors, 502/503/504) with bounded
@@ -26,11 +31,58 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	smartstore "repro"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
+
+// WireMode selects the /v1/query codec (the mutation and stats
+// endpoints are always JSON).
+type WireMode int
+
+const (
+	// WireAuto (the default) asks for binary responses on every query
+	// (Accept: application/x-smartstore-bin) while sending JSON request
+	// bodies, and upgrades request bodies to binary once a binary
+	// response proves the server speaks the codec. Against an older
+	// JSON-only server everything stays JSON — the fallback costs
+	// nothing but the ignored Accept header.
+	WireAuto WireMode = iota
+	// WireJSON forces JSON both ways.
+	WireJSON
+	// WireBinary forces binary request bodies immediately. Only for
+	// servers known to speak the codec — an older server answers 400.
+	WireBinary
+)
+
+// ParseWireMode resolves a -wire flag value: "auto", "json" or
+// "binary".
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "", "auto":
+		return WireAuto, nil
+	case "json":
+		return WireJSON, nil
+	case "binary":
+		return WireBinary, nil
+	default:
+		return WireAuto, fmt.Errorf("unknown wire mode %q (want auto, json or binary)", s)
+	}
+}
+
+func (m WireMode) String() string {
+	switch m {
+	case WireJSON:
+		return "json"
+	case WireBinary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
 
 // Options parameterizes a Client beyond its address. The zero value
 // reproduces the legacy behaviour: one attempt, 60s overall timeout.
@@ -47,6 +99,9 @@ type Options struct {
 	// OnRetry, when set, observes every retry about to be attempted —
 	// the hook a gateway counts client_retries_total with.
 	OnRetry func(path string, attempt int, err error)
+	// Wire selects the /v1/query codec; the zero value is WireAuto
+	// (binary when the server speaks it, JSON otherwise).
+	Wire WireMode
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +138,10 @@ type Client struct {
 	hc    *http.Client
 	opts  Options
 	trace bool
+	// binOK latches once a binary response proves the server speaks
+	// the codec (WireAuto only). A pointer so WithTrace copies share
+	// the learned state.
+	binOK *atomic.Bool
 }
 
 // New builds a client for a daemon at addr — either a bare "host:port"
@@ -109,8 +168,23 @@ func NewWithOptions(addr string, opts Options) *Client {
 		base: base,
 		// The per-attempt bound lives in the request context, not
 		// http.Client.Timeout, so each retry gets a fresh window.
-		hc:   &http.Client{Transport: tr},
-		opts: opts.withDefaults(),
+		hc:    &http.Client{Transport: tr},
+		opts:  opts.withDefaults(),
+		binOK: &atomic.Bool{},
+	}
+}
+
+// BinaryNegotiated reports whether queries currently go out with
+// binary request bodies: always under WireBinary, never under
+// WireJSON, and once the server has proven itself under WireAuto.
+func (c *Client) BinaryNegotiated() bool {
+	switch c.opts.Wire {
+	case WireBinary:
+		return true
+	case WireJSON:
+		return false
+	default:
+		return c.binOK.Load()
 	}
 }
 
@@ -234,17 +308,93 @@ func (c *Client) finish(path string, resp *http.Response, out any) error {
 	return nil
 }
 
+// postQuery round-trips POST /v1/query in the negotiated codec. The
+// request body is binary when the wire mode says so (forced, or
+// auto-latched); the response decoder dispatches on the reply's
+// Content-Type, so either codec is accepted regardless of what was
+// sent. Non-200 replies are always JSON. Exactly one of single/batch
+// is non-nil per the request shape.
+func (c *Client) postQuery(ctx context.Context, qreq server.QueryRequest) (single *server.QueryResponse, batch *server.BatchQueryResponse, err error) {
+	const path = "/v1/query"
+	wantBatch := len(qreq.Queries) > 0
+	var body []byte
+	var contentType string
+	if c.BinaryNegotiated() {
+		body, err = wire.EncodeRequest(&qreq)
+		contentType = wire.ContentType
+	} else {
+		body, err = json.Marshal(qreq)
+		contentType = "application/json"
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	err = c.roundTrip(ctx, path, true, func(actx context.Context) error {
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("client: %s: %w", path, err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		if c.opts.Wire != WireJSON {
+			req.Header.Set("Accept", wire.ContentType)
+		}
+		if c.trace {
+			req.Header.Set(server.TraceHeader, "1")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			se := &StatusError{Code: resp.StatusCode}
+			var we server.ErrorResponse
+			if json.NewDecoder(resp.Body).Decode(&we) == nil && we.Error != "" {
+				se.Msg = we.Error
+			}
+			return fmt.Errorf("client: %s: %w", path, se)
+		}
+		if wire.IsBinary(resp.Header.Get("Content-Type")) {
+			if c.opts.Wire == WireAuto {
+				c.binOK.Store(true)
+			}
+			if wantBatch {
+				batch, err = wire.DecodeBatchResponse(resp.Body)
+			} else {
+				single, err = wire.DecodeResponse(resp.Body)
+			}
+		} else {
+			dec := json.NewDecoder(resp.Body)
+			if wantBatch {
+				batch = &server.BatchQueryResponse{}
+				err = dec.Decode(batch)
+			} else {
+				single = &server.QueryResponse{}
+				err = dec.Decode(single)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("client: decoding %s response: %w", path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return single, batch, nil
+}
+
 // Query executes one composable query through the unified POST
 // /v1/query endpoint. Per-query options (mode override, limit, record
 // projection) travel with the query; cancelling ctx aborts the
 // round trip. Queries are idempotent and retry per Options.
 func (c *Client) Query(ctx context.Context, q smartstore.Query) (*server.QueryResponse, error) {
-	var out server.QueryResponse
 	req := server.QueryRequest{WireQuery: server.QueryToWire(q)}
-	if err := c.postCtx(ctx, "/v1/query", req, &out, true); err != nil {
+	out, _, err := c.postQuery(ctx, req)
+	if err != nil {
 		return nil, err
 	}
-	return &out, nil
+	return out, nil
 }
 
 // QueryBatch executes several queries in one request; the server runs
@@ -261,11 +411,11 @@ func (c *Client) QueryBatch(ctx context.Context, qs []smartstore.Query) (*server
 	for i, q := range qs {
 		wqs[i] = server.QueryToWire(q)
 	}
-	var out server.BatchQueryResponse
-	if err := c.postCtx(ctx, "/v1/query", server.QueryRequest{Queries: wqs}, &out, true); err != nil {
+	_, out, err := c.postQuery(ctx, server.QueryRequest{Queries: wqs})
+	if err != nil {
 		return nil, err
 	}
-	return &out, nil
+	return out, nil
 }
 
 // Point looks up file metadata by exact pathname. It is a wrapper over

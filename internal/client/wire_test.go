@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	smartstore "repro"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// newServedStoreWire is newServedStore with a chosen wire mode, also
+// returning the daemon URL for extra clients.
+func newServedStoreWire(t testing.TB, mode WireMode) (*Client, string, *smartstore.TraceSet) {
+	t.Helper()
+	set, err := smartstore.GenerateTrace("EECS", 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := smartstore.Build(set.Files, smartstore.Config{Units: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(store, server.Options{}))
+	t.Cleanup(ts.Close)
+	return NewWithOptions(ts.URL, Options{Wire: mode}), ts.URL, set
+}
+
+// TestClientWireModes: the three modes return identical answers; auto
+// latches binary after the first response, json never negotiates it.
+func TestClientWireModes(t *testing.T) {
+	clAuto, url, set := newServedStoreWire(t, WireAuto)
+	clJSON := NewWithOptions(url, Options{Wire: WireJSON})
+	clBin := NewWithOptions(url, Options{Wire: WireBinary})
+
+	if clAuto.BinaryNegotiated() {
+		t.Fatal("auto client claims binary before any response")
+	}
+	attrs := []smartstore.Attr{smartstore.AttrMTime}
+	q := smartstore.NewRangeQuery(attrs, []float64{0}, []float64{1e9})
+	q.Options.Limit = 25
+
+	respAuto, err := clAuto.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clAuto.BinaryNegotiated() {
+		t.Fatal("auto client did not latch binary against a binary-capable daemon")
+	}
+	respJSON, err := clJSON.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clJSON.BinaryNegotiated() {
+		t.Fatal("forced-JSON client negotiated binary")
+	}
+	respBin, err := clBin.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache served the repeat queries, so the reports replay and
+	// the three answers must be fully identical — Cached excepted on
+	// the first.
+	respAuto.Cached, respJSON.Cached, respBin.Cached = false, false, false
+	if !reflect.DeepEqual(respAuto, respJSON) || !reflect.DeepEqual(respJSON, respBin) {
+		t.Fatalf("wire modes disagree:\n  auto: %+v\n  json: %+v\n  bin:  %+v",
+			respAuto, respJSON, respBin)
+	}
+
+	// Batch through the binary codec matches JSON too.
+	qs := []smartstore.Query{
+		smartstore.NewPointQuery(set.Files[1].Path),
+		q,
+	}
+	bAuto, err := clAuto.QueryBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bJSON, err := clJSON.QueryBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bAuto.Results {
+		bAuto.Results[i].Cached = false
+		bJSON.Results[i].Cached = false
+	}
+	if !reflect.DeepEqual(bAuto, bJSON) {
+		t.Fatalf("batch answers disagree across codecs")
+	}
+}
+
+// TestClientFallsBackToJSON: against a daemon that ignores the Accept
+// header (a pre-binary smartstored), the auto client keeps speaking
+// JSON and never latches binary.
+func TestClientFallsBackToJSON(t *testing.T) {
+	var sawBinaryBody atomic.Bool
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if wire.IsBinary(r.Header.Get("Content-Type")) {
+			sawBinaryBody.Store(true)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"kind":"point","ids":[5],"count":1,"cached":false,"report":{"latency_sec":0,"messages":1,"hops":0,"units_searched":1}}`))
+	}))
+	defer legacy.Close()
+
+	cl := New(legacy.URL)
+	for i := 0; i < 3; i++ {
+		resp, err := cl.Query(context.Background(), smartstore.NewPointQuery("/x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.IDs) != 1 || resp.IDs[0] != 5 {
+			t.Fatalf("bad decode via fallback: %+v", resp)
+		}
+	}
+	if cl.BinaryNegotiated() {
+		t.Fatal("client latched binary against a JSON-only daemon")
+	}
+	if sawBinaryBody.Load() {
+		t.Fatal("auto client sent a binary body before the daemon ever answered binary")
+	}
+}

@@ -446,26 +446,31 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 	for _, idx := range targets {
 		e.shards[idx].mu.Lock()
 	}
-	defer func() {
+	unlock := func() {
 		for _, idx := range targets {
 			e.shards[idx].mu.Unlock()
 		}
-	}()
+	}
 
-	// Durability phase: with every target write-locked, append the
-	// batch record to every target shard's WAL before any shard applies
+	// Durability phase: with every target write-locked, stage the batch
+	// record on every target shard's WAL before any shard applies
 	// anything. A batch spanning shards carries a shared batch id and
 	// the full target set, so recovery can drop a batch that did not
 	// reach every target's log (it was never acknowledged) — the
-	// atomic-batch guarantee survives a crash. An append failure
+	// atomic-batch guarantee survives a crash. A staging failure
 	// rejects the whole batch before any insert lands; records already
-	// appended to other targets are then incomplete and ignored by
-	// recovery the same way.
+	// staged on other targets are then incomplete and ignored by
+	// recovery the same way. The fsync acknowledgements (the waits) are
+	// collected here and drained only after the shard locks drop, so
+	// concurrent writers overlap their group commits. Every collected
+	// wait is called on every path — leaking one hangs Log.Close.
+	var waits []func() error
 	if e.durable() {
 		var batchID uint64
 		if len(targets) > 1 {
 			batchID = e.batchSeq.Add(1)
 		}
+		waits = make([]func() error, 0, len(targets))
 		for _, idx := range targets {
 			sub := batches[idx]
 			recs := make([]metadata.File, len(sub))
@@ -476,10 +481,20 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 			if batchID != 0 {
 				rec.Targets = targets
 			}
-			if err := e.shards[idx].logRecord(rec); err != nil {
+			wait, err := e.shards[idx].stageRecord(rec)
+			if err != nil {
+				unlock()
+				// The earlier targets' frames belong to a batch that
+				// will never complete; recovery drops them. Their waits
+				// must still run (commit verdicts are irrelevant — the
+				// batch is already rejected).
+				for _, w := range waits {
+					_ = w()
+				}
 				e.unreserve(files)
 				return Report{}, err
 			}
+			waits = append(waits, wait)
 		}
 	}
 
@@ -494,6 +509,21 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 		}(i, idx)
 	}
 	wg.Wait()
+	unlock()
+
+	// Await the covering fsyncs outside every shard lock. A failed wait
+	// means the batch applied but was never acknowledged durable — the
+	// caller must treat it as indeterminate (DESIGN.md §7); the files
+	// stay placed so the in-memory state remains coherent.
+	var waitErr error
+	for _, w := range waits {
+		if err := w(); err != nil && waitErr == nil {
+			waitErr = err
+		}
+	}
+	if waitErr != nil {
+		return Report{}, waitErr
+	}
 
 	if o := e.obsv.Load(); o != nil {
 		for idx, batch := range batches {
@@ -519,11 +549,12 @@ func (e *Engine) InsertBatch(files []*metadata.File) (Report, error) {
 // index routes the delete to its owning shard — deletes on different
 // shards run in parallel — and an unknown id is a no-op that touches no
 // shard state and bumps no epoch. On a durable deployment the delete
-// record is logged before it applies (a replayed delete of a since-
-// vanished id is a harmless no-op); a WAL append failure rejects the
-// delete without applying it. The index entry is removed only after
-// the shard commit, so a concurrent insert of the same id is rejected
-// as a duplicate until the delete has fully landed.
+// record is staged before it applies (a replayed delete of a since-
+// vanished id is a harmless no-op); a WAL staging failure rejects the
+// delete without applying it, and the group-commit fsync is awaited
+// only after the shard lock drops. The index entry is removed only
+// after the shard commit, so a concurrent insert of the same id is
+// rejected as a duplicate until the delete has fully landed.
 func (e *Engine) Delete(id uint64) (Report, bool, error) {
 	e.assignMu.RLock()
 	idx, ok := e.assign[id]
@@ -535,7 +566,7 @@ func (e *Engine) Delete(id uint64) (Report, bool, error) {
 	var res cluster.Result
 	var found bool
 	s.mu.Lock()
-	err := s.logThen(wal.Record{Op: wal.OpDelete, ID: id}, func() bool {
+	wait, err := s.stageThen(wal.Record{Op: wal.OpDelete, ID: id}, func() bool {
 		res, found = s.deleteLocked(id)
 		return found
 	})
@@ -543,6 +574,9 @@ func (e *Engine) Delete(id uint64) (Report, bool, error) {
 	if err != nil {
 		return Report{}, false, err
 	}
+	// The index entry goes regardless of the fsync verdict: the delete
+	// already applied to the shard, and the assign index must track the
+	// shard's contents.
 	if found {
 		e.assignMu.Lock()
 		delete(e.assign, id)
@@ -551,13 +585,17 @@ func (e *Engine) Delete(id uint64) (Report, bool, error) {
 		}
 		e.assignMu.Unlock()
 	}
+	if err := wait(); err != nil {
+		return Report{}, false, err
+	}
 	return reportFrom(res), found, nil
 }
 
 // Modify updates an existing file's attributes on its owning shard;
 // modifies on different shards run in parallel. Durable deployments
-// log the replacement record before applying it; a WAL append failure
-// rejects the modify without applying it.
+// stage the replacement record before applying it; a WAL staging
+// failure rejects the modify without applying it, and the fsync
+// acknowledgement is awaited outside the shard lock.
 func (e *Engine) Modify(f *metadata.File) (Report, bool, error) {
 	e.assignMu.RLock()
 	idx, ok := e.assign[f.ID]
@@ -569,12 +607,15 @@ func (e *Engine) Modify(f *metadata.File) (Report, bool, error) {
 	var res cluster.Result
 	var found bool
 	s.mu.Lock()
-	err := s.logThen(wal.Record{Op: wal.OpModify, Files: []metadata.File{*f}}, func() bool {
+	wait, err := s.stageThen(wal.Record{Op: wal.OpModify, Files: []metadata.File{*f}}, func() bool {
 		res, found = s.modifyLocked(f)
 		return found
 	})
 	s.mu.Unlock()
 	if err != nil {
+		return Report{}, false, err
+	}
+	if err := wait(); err != nil {
 		return Report{}, false, err
 	}
 	return reportFrom(res), found, nil

@@ -40,10 +40,11 @@ type Shard struct {
 	epoch atomic.Uint64
 
 	// log is the shard's write-ahead log (nil on a non-durable
-	// deployment). Every mutation goes through the logThen path —
-	// append the record, then apply — under the shard's write lock, so
-	// records land in mutation order and an acknowledged mutation is
-	// always on disk before it is visible.
+	// deployment). Every mutation goes through the stageThen path —
+	// stage the record, then apply, then await the group-commit fsync
+	// after dropping the write lock — so records land in mutation
+	// order and an acknowledged mutation is always on disk before the
+	// acknowledgement, while same-shard writers overlap their fsyncs.
 	log *wal.Log
 }
 
@@ -301,37 +302,57 @@ func (s *Shard) fileByID(id uint64) (metadata.File, bool) {
 	return out, ok
 }
 
-// logRecord stamps rec with the epoch it will commit at (the current
-// epoch plus one) and appends it to the shard's WAL — a no-op without
-// one. The caller must hold the shard's write lock, so the stamped
-// epoch cannot move before the record lands.
-func (s *Shard) logRecord(rec wal.Record) error {
+// noWait is the durability wait of a shard without a WAL.
+var noWait = func() error { return nil }
+
+// stageRecord stamps rec with the epoch it will commit at (the current
+// epoch plus one) and stages it on the shard's WAL, returning the
+// group-commit wait — a no-op wait without a WAL. Staging failures are
+// returned immediately (with a nil wait) and reject the mutation, just
+// as the old synchronous append did; only the fsync acknowledgement
+// moves into the wait, which the caller runs after releasing the shard
+// write lock so same-shard writers overlap their fsyncs. The caller
+// must hold the shard's write lock while staging, so the stamped epoch
+// cannot move before the record lands, and MUST call a returned
+// non-nil wait on every path (leaking it hangs Log.Close).
+func (s *Shard) stageRecord(rec wal.Record) (func() error, error) {
 	if s.log == nil {
-		return nil
+		return noWait, nil
 	}
 	rec.Epoch = s.epoch.Load() + 1
-	if err := s.log.Append(&rec); err != nil {
-		return fmt.Errorf("engine: shard %d: %w", s.id, err)
+	wait, err := s.log.AppendAsync(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: shard %d: %w", s.id, err)
 	}
-	return nil
+	return func() error {
+		if err := wait(); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", s.id, err)
+		}
+		return nil
+	}, nil
 }
 
-// logThen is the shard's durable mutation path: append the record to
+// stageThen is the shard's durable mutation path: stage the record on
 // the WAL, then apply the mutation, then bump the epoch if apply
-// reports an effectual change. The log-before-apply order means a crash
-// at any point loses nothing acknowledged: either the record is on disk
-// (replayed on recovery) or the mutation was never acknowledged. An
-// append failure rejects the mutation without applying it — the log
-// rolls back to the previous frame boundary. The caller must hold the
+// reports an effectual change, returning the durability wait for the
+// caller to run after dropping the shard lock. The stage-before-apply
+// order means a crash at any point loses nothing acknowledged: either
+// the record reaches disk (replayed on recovery) or the mutation's
+// wait never returned nil — a failed fsync after apply leaves the
+// mutation visible but unacknowledged, with the log sticky-broken so
+// nothing later is acknowledged either (DESIGN.md §7). A staging
+// failure rejects the mutation without applying it — the log rolls
+// back to the previous frame boundary. The caller must hold the
 // shard's write lock.
-func (s *Shard) logThen(rec wal.Record, apply func() bool) error {
-	if err := s.logRecord(rec); err != nil {
-		return err
+func (s *Shard) stageThen(rec wal.Record, apply func() bool) (func() error, error) {
+	wait, err := s.stageRecord(rec)
+	if err != nil {
+		return nil, err
 	}
 	if apply() {
 		s.epoch.Add(1)
 	}
-	return nil
+	return wait, nil
 }
 
 // insertFilesLocked inserts files into every deployed tree, summing the
@@ -394,7 +415,6 @@ func (s *Shard) modifyLocked(f *metadata.File) (cluster.Result, bool) {
 // nothing and bumps nothing.
 func (s *Shard) flush() (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	changed := false
 	for _, c := range s.clusters {
 		for _, g := range c.Tree.FirstLevelIndexUnits() {
@@ -407,8 +427,12 @@ func (s *Shard) flush() (bool, error) {
 			break
 		}
 	}
+	wait := noWait
 	if changed {
-		if err := s.logRecord(wal.Record{Op: wal.OpFlush}); err != nil {
+		var err error
+		wait, err = s.stageRecord(wal.Record{Op: wal.OpFlush})
+		if err != nil {
+			s.mu.Unlock()
 			return false, err
 		}
 	}
@@ -417,6 +441,10 @@ func (s *Shard) flush() (bool, error) {
 	}
 	if changed {
 		s.epoch.Add(1)
+	}
+	s.mu.Unlock()
+	if err := wait(); err != nil {
+		return false, err
 	}
 	return changed, nil
 }

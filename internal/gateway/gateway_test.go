@@ -28,6 +28,7 @@ type federation struct {
 	perNode  [][]*smartstore.File
 	single   *client.Client
 	gate     *client.Client
+	gateURL  string
 	gw       *Gateway
 	backends []*httptest.Server
 }
@@ -90,6 +91,7 @@ func buildFederation(t testing.TB, n, nBackends int) *federation {
 	gateSrv := httptest.NewServer(gw)
 	t.Cleanup(gateSrv.Close)
 	fed.gate = client.New(gateSrv.URL)
+	fed.gateURL = gateSrv.URL
 	return fed
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // routes installs the single-store wire API over the federation.
@@ -138,6 +140,25 @@ func decode(r *http.Request, into any) error {
 	return nil
 }
 
+// decodeQueryRequest decodes a /v1/query body in whichever codec the
+// request's Content-Type names, mirroring the single store's server:
+// the binary frame format when it is wire.ContentType, JSON otherwise.
+func decodeQueryRequest(r *http.Request, req *server.QueryRequest) error {
+	if !wire.IsBinary(r.Header.Get("Content-Type")) {
+		return decode(r, req)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return badRequestf("reading request: %v", err)
+	}
+	decoded, err := wire.DecodeRequest(body)
+	if err != nil {
+		return badRequestf("decoding request: %v", err)
+	}
+	*req = *decoded
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -156,7 +177,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	traced := tr != nil
 	decodeStart := time.Now()
 	var req server.QueryRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeQueryRequest(r, &req); err != nil {
 		return err
 	}
 	tr.AddPhase("decode", time.Since(decodeStart))
@@ -200,8 +221,20 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		}(i, q)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, server.BatchQueryResponse{Results: results})
+	writeBatchResponse(w, r, server.BatchQueryResponse{Results: results})
 	return nil
+}
+
+// writeBatchResponse writes a batch answer in whichever codec the
+// request's Accept header negotiated.
+func writeBatchResponse(w http.ResponseWriter, r *http.Request, batch server.BatchQueryResponse) {
+	if !wire.Accepts(r.Header.Get("Accept")) {
+		writeJSON(w, http.StatusOK, batch)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	wire.EncodeBatchResponse(w, &batch)
 }
 
 // The legacy one-endpoint-per-kind shims mirror the store's.
@@ -248,10 +281,28 @@ func (g *Gateway) serveShim(w http.ResponseWriter, r *http.Request, wq server.Wi
 
 // writeQueryResponse attaches the gateway-level trace (phases plus the
 // per-backend breakdown, each nesting the backend's own trace) when
-// the request carried the trace header.
+// the request carried the trace header, and writes the response in
+// whichever codec the Accept header negotiated — the same streamed
+// binary frame sequence the single store emits.
 func (g *Gateway) writeQueryResponse(w http.ResponseWriter, r *http.Request, resp server.QueryResponse, backends []server.BackendTraceWire) {
 	tr := obs.TraceFrom(r.Context())
-	if tr != nil && r.Header.Get(server.TraceHeader) != "" {
+	traced := tr != nil && r.Header.Get(server.TraceHeader) != ""
+	if wire.Accepts(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		enc := wire.NewResponseEncoder(w)
+		encStart := time.Now()
+		enc.WriteHeader(resp.Kind)
+		enc.WriteIDs(resp.IDs, resp.Dists)
+		enc.WriteRecords(resp.Records)
+		if traced {
+			tr.AddPhase("encode", time.Since(encStart))
+			resp.Trace = gatewayTrace(tr, backends)
+		}
+		enc.WriteTrailer(&resp)
+		return
+	}
+	if traced {
 		encStart := time.Now()
 		if _, err := json.Marshal(resp); err == nil {
 			tr.AddPhase("encode", time.Since(encStart))

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/version"
+	"repro/internal/wire"
 )
 
 // TraceHeader is the request header that asks for an inline per-phase
@@ -161,14 +162,37 @@ func (s *Server) logSlow(endpoint string, total time.Duration, tr *obs.QueryTrac
 	log.Printf("smartstored: slow %s request: total=%s %s", endpoint, total, tr)
 }
 
-// writeQueryResponse writes a single-query response, attaching the
-// inline trace when the request carried the trace header. The encode
-// phase is measured by marshalling the response once before the real
-// write — traced requests pay for a second marshal; untraced ones take
-// the plain path.
+// writeQueryResponse writes a single-query response in whichever codec
+// the request's Accept header negotiated, attaching the inline trace
+// when the request carried the trace header.
+//
+// On the JSON path the encode phase is measured by marshalling the
+// response once before the real write — traced requests pay for a
+// second marshal; untraced ones take the plain path. On the binary
+// path the bulk of the encode (header + id/record chunks) streams
+// first and is timed for real; the trace rides in the trailer frame,
+// which is built after the phase is stamped, so no double encode.
 func (s *Server) writeQueryResponse(w http.ResponseWriter, r *http.Request, resp QueryResponse) {
 	tr := obs.TraceFrom(r.Context())
-	if tr != nil && r.Header.Get(TraceHeader) != "" {
+	traced := tr != nil && r.Header.Get(TraceHeader) != ""
+	if wire.Accepts(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		enc := wire.NewResponseEncoder(w)
+		encStart := time.Now()
+		enc.WriteHeader(resp.Kind)
+		enc.WriteIDs(resp.IDs, resp.Dists)
+		enc.WriteRecords(resp.Records)
+		if traced {
+			tr.AddPhase("encode", time.Since(encStart))
+			resp.Trace = traceWire(tr)
+		}
+		// Like writeJSON, a mid-stream write error only means the
+		// client went away; the status is already committed.
+		enc.WriteTrailer(&resp)
+		return
+	}
+	if traced {
 		encStart := time.Now()
 		if _, err := json.Marshal(resp); err == nil {
 			tr.AddPhase("encode", time.Since(encStart))

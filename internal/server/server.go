@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/obs"
 	"repro/internal/version"
+	"repro/internal/wire"
 )
 
 // Options parameterizes a Server. The zero value selects defaults.
@@ -231,6 +233,26 @@ func decode(r *http.Request, into any) error {
 	return nil
 }
 
+// decodeQueryRequest decodes a /v1/query body in whichever codec the
+// request's Content-Type names: the binary frame format when it is
+// wire.ContentType, JSON otherwise. Malformed frames — bad CRC, short
+// payload, trailing bytes — answer 400 exactly like malformed JSON.
+func decodeQueryRequest(r *http.Request, req *QueryRequest) error {
+	if !wire.IsBinary(r.Header.Get("Content-Type")) {
+		return decode(r, req)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return badRequest("reading request: %v", err)
+	}
+	decoded, err := wire.DecodeRequest(body)
+	if err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	*req = *decoded
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -342,7 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	tr := obs.TraceFrom(r.Context())
 	decodeStart := time.Now()
 	var req QueryRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeQueryRequest(r, &req); err != nil {
 		return err
 	}
 	if tr != nil {
@@ -392,8 +414,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	}
 	wg.Wait()
 	s.metrics.observeQuery("batch", time.Since(batchStart))
-	writeJSON(w, http.StatusOK, BatchQueryResponse{Results: results})
+	writeBatchResponse(w, r, BatchQueryResponse{Results: results})
 	return nil
+}
+
+// writeBatchResponse writes a batch answer in whichever codec the
+// request's Accept header negotiated.
+func writeBatchResponse(w http.ResponseWriter, r *http.Request, batch BatchQueryResponse) {
+	if !wire.Accepts(r.Header.Get("Accept")) {
+		writeJSON(w, http.StatusOK, batch)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	// Like writeJSON, a mid-stream write error only means the client
+	// went away; the status is already committed.
+	wire.EncodeBatchResponse(w, &batch)
 }
 
 // The legacy one-endpoint-per-kind routes remain as shims over the

@@ -1,27 +1,57 @@
-// Wire format of the smartstored HTTP/JSON metadata API, shared by the
-// server handlers and the typed client (internal/client). Attribute
+// Wire format of the smartstored HTTP metadata API, shared by the
+// server handlers and the typed client (internal/client). The
+// query-path types — everything POST /v1/query exchanges — live in
+// internal/wire (which also owns the binary codec) and are aliased
+// here so existing callers keep compiling; the mutation, stats and
+// legacy-shim types below remain server-owned and JSON-only. Attribute
 // dimensions travel as their short names ("mtime", "read_bytes", ...);
 // values are raw attribute units, exactly like the library API. See
 // DESIGN.md §5 for the endpoint reference with curl examples.
 package server
 
 import (
-	"fmt"
-
 	smartstore "repro"
 	"repro/internal/metadata"
+	"repro/internal/wire"
 )
 
-// Report is the wire form of smartstore.QueryReport: the virtual-time
-// accounting of one operation.
-type Report struct {
-	LatencySec        float64 `json:"latency_sec"`
-	Messages          int64   `json:"messages"`
-	Hops              int     `json:"hops"`
-	UnitsSearched     int     `json:"units_searched"`
-	VersionChecked    int     `json:"version_checked,omitempty"`
-	VersionLatencySec float64 `json:"version_latency_sec,omitempty"`
-}
+// Aliases for the query-path wire types, moved to internal/wire so the
+// server, gateway and client share one codec-agnostic definition.
+type (
+	// Report is the wire form of smartstore.QueryReport: the
+	// virtual-time accounting of one operation.
+	Report = wire.Report
+	// FileRecord is one file's metadata on the wire.
+	FileRecord = wire.FileRecord
+	// WireQuery is the unified wire form of one smartstore.Query.
+	WireQuery = wire.WireQuery
+	// QueryRequest is the body of POST /v1/query.
+	QueryRequest = wire.QueryRequest
+	// QueryResponse answers every query form.
+	QueryResponse = wire.QueryResponse
+	// BatchQueryResponse answers a batch POST /v1/query.
+	BatchQueryResponse = wire.BatchQueryResponse
+	// TraceWire is the inline wire form of a request trace.
+	TraceWire = wire.TraceWire
+	// BackendTraceWire is one backend's share of a gateway fan-out.
+	BackendTraceWire = wire.BackendTraceWire
+	// PhaseWire is one named serving phase.
+	PhaseWire = wire.PhaseWire
+	// ShardWire is one shard's share of the execute phase.
+	ShardWire = wire.ShardWire
+	// ErrorResponse is the body of every non-2xx reply.
+	ErrorResponse = wire.ErrorResponse
+)
+
+// RecordFromFile converts a stored file to its wire form.
+func RecordFromFile(f *metadata.File) FileRecord { return wire.RecordFromFile(f) }
+
+// AttrNames converts an attribute subset to its wire names.
+func AttrNames(attrs []metadata.Attr) []string { return wire.AttrNames(attrs) }
+
+// QueryToWire converts a library query to its wire form — the encoding
+// the typed client sends to POST /v1/query.
+func QueryToWire(q smartstore.Query) WireQuery { return wire.QueryToWire(q) }
 
 func wireReport(r smartstore.QueryReport) Report {
 	return Report{
@@ -32,169 +62,6 @@ func wireReport(r smartstore.QueryReport) Report {
 		VersionChecked:    r.VersionChecked,
 		VersionLatencySec: r.VersionLatency,
 	}
-}
-
-// FileRecord is one file's metadata on the wire. A zero ID on insert
-// asks the server to allocate one; the response echoes the assignment.
-type FileRecord struct {
-	ID    uint64             `json:"id,omitempty"`
-	Path  string             `json:"path"`
-	Attrs map[string]float64 `json:"attrs"`
-}
-
-// RecordFromFile converts a stored file to its wire form.
-func RecordFromFile(f *metadata.File) FileRecord {
-	attrs := make(map[string]float64, int(metadata.NumAttrs))
-	for a := metadata.Attr(0); a < metadata.NumAttrs; a++ {
-		attrs[a.String()] = f.Attrs[a]
-	}
-	return FileRecord{ID: f.ID, Path: f.Path, Attrs: attrs}
-}
-
-// File converts a wire record to a metadata file, resolving attribute
-// names. Unnamed attributes default to zero.
-func (r FileRecord) File() (*metadata.File, error) {
-	if r.Path == "" {
-		return nil, fmt.Errorf("file record missing path")
-	}
-	f := &metadata.File{ID: r.ID, Path: r.Path}
-	for name, v := range r.Attrs {
-		a, err := metadata.ParseAttr(name)
-		if err != nil {
-			return nil, err
-		}
-		f.Attrs[a] = v
-	}
-	return f, nil
-}
-
-// parseAttrs resolves a wire attribute-name list.
-func parseAttrs(names []string) ([]metadata.Attr, error) {
-	if len(names) == 0 {
-		return nil, fmt.Errorf("empty attribute list")
-	}
-	attrs := make([]metadata.Attr, len(names))
-	for i, n := range names {
-		a, err := metadata.ParseAttr(n)
-		if err != nil {
-			return nil, err
-		}
-		attrs[i] = a
-	}
-	return attrs, nil
-}
-
-// AttrNames converts an attribute subset to its wire names.
-func AttrNames(attrs []metadata.Attr) []string {
-	names := make([]string, len(attrs))
-	for i, a := range attrs {
-		names[i] = a.String()
-	}
-	return names
-}
-
-// WireQuery is the unified wire form of one smartstore.Query: a kind
-// ("point", "range", "topk") plus that kind's dimensions plus per-query
-// options. Unused fields are omitted.
-type WireQuery struct {
-	Kind  string    `json:"kind,omitempty"`
-	Path  string    `json:"path,omitempty"`
-	Attrs []string  `json:"attrs,omitempty"`
-	Lo    []float64 `json:"lo,omitempty"`
-	Hi    []float64 `json:"hi,omitempty"`
-	Point []float64 `json:"point,omitempty"`
-	K     int       `json:"k,omitempty"`
-
-	// Mode optionally overrides the store's query path for this query:
-	// "offline" or "online" (empty = store default).
-	Mode string `json:"mode,omitempty"`
-	// Limit truncates the answer to at most Limit ids (0 = unlimited).
-	Limit int `json:"limit,omitempty"`
-	// IncludeRecords inlines full file records in the response.
-	IncludeRecords bool `json:"include_records,omitempty"`
-	// IncludeDists inlines each top-k answer id's true normalized
-	// squared distance — what a federating gateway needs to merge
-	// per-backend answers exactly. Ignored by point and range queries.
-	IncludeDists bool `json:"include_dists,omitempty"`
-}
-
-// Query resolves the wire form to a validated smartstore.Query. Every
-// failure wraps smartstore.ErrInvalidQuery.
-func (wq WireQuery) Query() (smartstore.Query, error) {
-	kind, err := smartstore.ParseQueryKind(wq.Kind)
-	if err != nil {
-		return smartstore.Query{}, err
-	}
-	mode, err := smartstore.ParseQueryMode(wq.Mode)
-	if err != nil {
-		return smartstore.Query{}, err
-	}
-	q := smartstore.Query{
-		Kind:  kind,
-		Path:  wq.Path,
-		Lo:    wq.Lo,
-		Hi:    wq.Hi,
-		Point: wq.Point,
-		K:     wq.K,
-		Options: smartstore.QueryOptions{
-			Mode:           mode,
-			Limit:          wq.Limit,
-			IncludeRecords: wq.IncludeRecords,
-			IncludeDists:   wq.IncludeDists,
-		},
-	}
-	if kind == smartstore.KindPoint {
-		if wq.Path == "" {
-			return smartstore.Query{}, fmt.Errorf("%w: point query missing path", smartstore.ErrInvalidQuery)
-		}
-	} else {
-		attrs, err := parseAttrs(wq.Attrs)
-		if err != nil {
-			return smartstore.Query{}, fmt.Errorf("%w: %v", smartstore.ErrInvalidQuery, err)
-		}
-		q.Attrs = attrs
-	}
-	if err := q.Validate(); err != nil {
-		return smartstore.Query{}, err
-	}
-	return q, nil
-}
-
-// QueryToWire converts a library query to its wire form — the encoding
-// the typed client sends to POST /v1/query.
-func QueryToWire(q smartstore.Query) WireQuery {
-	wq := WireQuery{
-		Kind:           q.Kind.String(),
-		Path:           q.Path,
-		Lo:             q.Lo,
-		Hi:             q.Hi,
-		Point:          q.Point,
-		K:              q.K,
-		Mode:           q.Options.Mode.String(),
-		Limit:          q.Options.Limit,
-		IncludeRecords: q.Options.IncludeRecords,
-		IncludeDists:   q.Options.IncludeDists,
-	}
-	if len(q.Attrs) > 0 {
-		wq.Attrs = AttrNames(q.Attrs)
-	}
-	return wq
-}
-
-// QueryRequest is the body of POST /v1/query: either one query inline
-// (the embedded WireQuery fields) or a batch via Queries. A non-empty
-// Queries takes precedence; the batch executes concurrently under one
-// admission ticket.
-type QueryRequest struct {
-	WireQuery
-	Queries []WireQuery `json:"queries,omitempty"`
-}
-
-// BatchQueryResponse answers a batch POST /v1/query: one result per
-// query, in request order. A query that failed after admission carries
-// its message in Error with zeroed results.
-type BatchQueryResponse struct {
-	Results []QueryResponse `json:"results"`
 }
 
 // PointRequest asks for the files stored under an exact pathname.
@@ -215,77 +82,6 @@ type TopKRequest struct {
 	Attrs []string  `json:"attrs"`
 	Point []float64 `json:"point"`
 	K     int       `json:"k"`
-}
-
-// QueryResponse answers every query form — unified single, batch item,
-// and the legacy point/range/topk shims. Cached reports whether the
-// result was served from the query cache (in which case the report
-// replays the accounting of the original execution); Records carries
-// inline file records when the query asked for them; Truncated reports
-// that a limit cut the answer; Error is set only on batch items that
-// failed after admission.
-type QueryResponse struct {
-	Kind      string   `json:"kind,omitempty"`
-	IDs       []uint64 `json:"ids"`
-	Count     int      `json:"count"`
-	Truncated bool     `json:"truncated,omitempty"`
-	Cached    bool     `json:"cached"`
-	// Dists carries, aligned with IDs, each top-k candidate's true
-	// normalized squared distance when the query asked for
-	// include_dists.
-	Dists   []float64    `json:"dists,omitempty"`
-	Records []FileRecord `json:"records,omitempty"`
-	// Partial flags an answer computed without every relevant backend —
-	// a gateway degraded by a down member answers with what the healthy
-	// backends hold instead of failing, and marks the gap here. A
-	// single-store server never sets it.
-	Partial bool   `json:"partial,omitempty"`
-	Report  Report `json:"report"`
-	// Trace is the per-phase timing breakdown, present only when the
-	// request carried the X-Smartstore-Trace header.
-	Trace *TraceWire `json:"trace,omitempty"`
-	Error string     `json:"error,omitempty"`
-}
-
-// TraceWire is the inline wire form of a request trace: real wall
-// times of this request, not virtual-time accounting (that is Report).
-// Phases appear in serving order: admission_wait, decode, cache_lookup,
-// execute, merge (derived: execute minus the slowest shard), encode.
-type TraceWire struct {
-	// TotalMs is the request's total wall time, admission wait through
-	// response encode.
-	TotalMs float64     `json:"total_ms"`
-	Phases  []PhaseWire `json:"phases"`
-	Shards  []ShardWire `json:"shards,omitempty"`
-	// Backends breaks a gateway's execute phase down per backend,
-	// nesting each backend's own trace when the backend returned one.
-	Backends []BackendTraceWire `json:"backends,omitempty"`
-}
-
-// BackendTraceWire is one backend's share of a gateway fan-out.
-type BackendTraceWire struct {
-	Backend string  `json:"backend"`
-	Ms      float64 `json:"ms"`
-	// Down marks a backend that was skipped (marked unhealthy) or
-	// failed mid-query.
-	Down bool `json:"down,omitempty"`
-	// Trace is the backend's own per-phase breakdown, propagated when
-	// the gateway forwarded the trace header.
-	Trace *TraceWire `json:"trace,omitempty"`
-}
-
-// PhaseWire is one named serving phase.
-type PhaseWire struct {
-	Name string  `json:"name"`
-	Ms   float64 `json:"ms"`
-}
-
-// ShardWire is one shard's share of the execute phase. A pruned shard
-// was rejected by its root MBR/Bloom filter without executing.
-type ShardWire struct {
-	Shard  int     `json:"shard"`
-	Ms     float64 `json:"ms"`
-	Pruned bool    `json:"pruned,omitempty"`
 }
 
 // InsertRequest inserts a batch of files in one admission.
@@ -436,9 +232,4 @@ type BuildWire struct {
 	Version   string `json:"version,omitempty"`
 	Revision  string `json:"revision,omitempty"`
 	Dirty     bool   `json:"dirty,omitempty"`
-}
-
-// ErrorResponse is the body of every non-2xx reply.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }

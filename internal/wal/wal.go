@@ -277,16 +277,63 @@ func (l *Log) Append(rec *Record) error {
 }
 
 func (l *Log) append(rec *Record) error {
-	payload, err := encodePayload(rec)
+	wait, err := l.appendAsync(rec)
 	if err != nil {
 		return err
+	}
+	return wait()
+}
+
+// AppendAsync splits Append into its two halves: staging — frame,
+// write at the staged offset, everything that must happen in mutation
+// order — runs before AppendAsync returns, and the durability
+// acknowledgement moves into the returned wait function. A staging
+// failure (encode, rotation, write, sticky-broken, closed) is
+// returned immediately with a nil wait, exactly as Append would have
+// rejected it. The engine stages under the shard write lock and waits
+// after releasing it, so same-shard writers overlap their fsyncs
+// instead of serializing them through the lock hold.
+//
+// A non-nil wait MUST be called on every path — including caller-side
+// error paths — because under group commit it holds the appender
+// registration Close drains before stopping the committer; leaking it
+// hangs Close. Calling it again is harmless (the first verdict is
+// replayed). Under SyncInterval/SyncNever and ungrouped SyncAlways
+// the verdict is already settled and wait returns it immediately.
+func (l *Log) AppendAsync(rec *Record) (wait func() error, err error) {
+	if o := l.obsv.Load(); o != nil && o.AppendNs != nil {
+		start := time.Now()
+		wait, err := l.appendAsync(rec)
+		if err != nil {
+			o.AppendNs.Observe(uint64(time.Since(start)))
+			return nil, err
+		}
+		return func() error {
+			err := wait()
+			o.AppendNs.Observe(uint64(time.Since(start)))
+			return err
+		}, nil
+	}
+	return l.appendAsync(rec)
+}
+
+// settledWait is the wait of an append whose verdict needs no
+// out-of-lock half.
+func settledWait(err error) func() error {
+	return func() error { return err }
+}
+
+func (l *Log) appendAsync(rec *Record) (func() error, error) {
+	payload, err := encodePayload(rec)
+	if err != nil {
+		return nil, err
 	}
 	if len(payload) > maxRecordSize {
 		// scanFrames treats an over-limit length prefix as a torn tail,
 		// so an oversized frame — and everything after it — would
 		// silently vanish on the next Open. Refuse it before it is
 		// acknowledged.
-		return fmt.Errorf("wal: record payload %d bytes exceeds the %d limit (split the batch)",
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit (split the batch)",
 			len(payload), maxRecordSize)
 	}
 	frame := make([]byte, frameHeaderSize+len(payload))
@@ -298,34 +345,42 @@ func (l *Log) append(rec *Record) error {
 	if l.err != nil {
 		err := l.err
 		l.mu.Unlock()
-		return err
+		return nil, err
 	}
 	if l.closed {
 		l.mu.Unlock()
-		return errClosed
+		return nil, errClosed
 	}
 	if l.active.size > int64(segHeaderSize) && l.active.size+int64(len(frame)) > l.segCap {
 		if err := l.rotateLocked(); err != nil {
 			l.mu.Unlock()
-			return err
+			return nil, err
 		}
 	}
 	seg := l.active
 	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
 		err = l.rollbackLocked(seg, err)
 		l.mu.Unlock()
-		return err
+		return nil, err
 	}
 	seg.size += int64(len(frame))
 	l.updateLiveLocked()
 	if l.group {
 		// Registered before releasing mu, so Close (which marks closed
 		// under mu first) cannot stop the committer while this appender
-		// is between the write and the enqueue.
+		// is between the write and the enqueue. The registration is
+		// released by the wait — which is why wait must always run.
 		l.appenders.Add(1)
 		l.mu.Unlock()
-		defer l.appenders.Done()
-		return l.awaitCommit()
+		var once sync.Once
+		var verdict error
+		return func() error {
+			once.Do(func() {
+				defer l.appenders.Done()
+				verdict = l.awaitCommit()
+			})
+			return verdict
+		}, nil
 	}
 	if l.policy == SyncAlways {
 		// Ungrouped always-sync (benchmark baseline): pay the fsync
@@ -336,12 +391,12 @@ func (l *Log) append(rec *Record) error {
 			l.updateLiveLocked()
 			err = l.rollbackLocked(seg, err)
 			l.mu.Unlock()
-			return err
+			return nil, err
 		}
 		seg.acked = seg.size
 	}
 	l.mu.Unlock()
-	return nil
+	return settledWait(nil), nil
 }
 
 // rollbackLocked truncates the segment back to its recorded valid size

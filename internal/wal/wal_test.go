@@ -816,11 +816,92 @@ func FuzzSegmentedLog(f *testing.F) {
 	})
 }
 
+// TestAppendAsync exercises the staged-append contract: records staged
+// under an outer lock and awaited outside it are all durable and
+// replay in staging order, the wait is idempotent, and staging
+// failures surface synchronously with a nil wait.
+func TestAppendAsync(t *testing.T) {
+	t.Run("overlapped waits replay in order", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "w")
+		l, _, err := Open(dir, 0, SyncAlways, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers, perWriter = 8, 25
+		var mu sync.Mutex // models the shard write lock: staging only
+		var next atomic.Uint64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					mu.Lock()
+					rec := Record{Op: OpDelete, ID: next.Add(1)}
+					wait, err := l.AppendAsync(&rec)
+					mu.Unlock()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := wait(); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := wait(); err != nil { // idempotent
+						t.Errorf("second wait: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err := Open(dir, 0, SyncNever, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != writers*perWriter {
+			t.Fatalf("replayed %d records, want %d", len(recs), writers*perWriter)
+		}
+		for i, rec := range recs {
+			if rec.ID != uint64(i+1) {
+				t.Fatalf("record %d has id %d, want %d (staging order violated)", i, rec.ID, i+1)
+			}
+		}
+	})
+
+	t.Run("staging failure is synchronous", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "w")
+		l, _, err := Open(dir, 0, SyncAlways, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wait, err := l.AppendAsync(&Record{Op: OpFlush})
+		if err == nil {
+			t.Fatal("AppendAsync on a closed log staged successfully")
+		}
+		if wait != nil {
+			t.Fatal("staging failure returned a non-nil wait")
+		}
+	})
+}
+
 // benchmarkAppendAlways measures SyncAlways append throughput at 8
-// concurrent writers — grouped (the committer batches fsyncs) vs.
-// ungrouped (every appender pays its own fsync, the pre-segmentation
-// behaviour).
-func benchmarkAppendAlways(b *testing.B, group bool) {
+// concurrent writers contending on an outer mutex that models the
+// engine's shard write lock. With ackInLock the whole Append — fsync
+// acknowledgement included — runs under the outer lock (the engine's
+// pre-AppendAsync behaviour: same-shard writers serialize through each
+// other's fsyncs); without it the writers stage via AppendAsync under
+// the lock and await the group commit outside it, so their fsyncs
+// overlap. Ungrouped drops group commit entirely: every appender pays
+// its own fsync under the lock, the pre-segmentation behaviour.
+func benchmarkAppendAlways(b *testing.B, group, ackInLock bool) {
 	dir := filepath.Join(b.TempDir(), "w")
 	l, _, err := Open(dir, 0, SyncAlways, Options{SegmentBytes: 1 << 30, noGroupCommit: !group})
 	if err != nil {
@@ -829,6 +910,7 @@ func benchmarkAppendAlways(b *testing.B, group bool) {
 	defer l.Close()
 	const writers = 8
 	var next atomic.Int64
+	var shardMu sync.Mutex
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -842,7 +924,24 @@ func benchmarkAppendAlways(b *testing.B, group bool) {
 					return
 				}
 				rec.Epoch = uint64(i)
-				if err := l.Append(&rec); err != nil {
+				if ackInLock {
+					shardMu.Lock()
+					err := l.Append(&rec)
+					shardMu.Unlock()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					continue
+				}
+				shardMu.Lock()
+				wait, err := l.AppendAsync(&rec)
+				shardMu.Unlock()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := wait(); err != nil {
 					b.Error(err)
 					return
 				}
@@ -856,5 +955,6 @@ func benchmarkAppendAlways(b *testing.B, group bool) {
 	}
 }
 
-func BenchmarkWALAppendSyncAlways(b *testing.B)          { benchmarkAppendAlways(b, true) }
-func BenchmarkWALAppendSyncAlwaysUngrouped(b *testing.B) { benchmarkAppendAlways(b, false) }
+func BenchmarkWALAppendSyncAlways(b *testing.B)          { benchmarkAppendAlways(b, true, false) }
+func BenchmarkWALAppendSyncAlwaysAckInLock(b *testing.B) { benchmarkAppendAlways(b, true, true) }
+func BenchmarkWALAppendSyncAlwaysUngrouped(b *testing.B) { benchmarkAppendAlways(b, false, true) }
