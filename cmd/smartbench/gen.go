@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	smartstore "repro"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// benchOp is one fully drawn operation: the kind plus its materialized
+// payload, so the draw sequence is testable without a live endpoint.
+type benchOp struct {
+	op     string // point, range, batch, topk, insert
+	point  query.Point
+	rng    query.Range
+	topk   query.TopK
+	insert *smartstore.File
+}
+
+// fingerprint renders the op for byte-exact sequence comparison.
+func (op benchOp) fingerprint() string {
+	if op.insert != nil {
+		return fmt.Sprintf("%s|%s|%x", op.op, op.insert.Path, op.insert.Attrs)
+	}
+	return fmt.Sprintf("%s|%+v|%+v|%+v", op.op, op.point, op.rng, op.topk)
+}
+
+// benchOpGen draws one worker's operation sequence. The draw is a pure
+// function of (trace set, mutate ratio, seed, worker index): each
+// worker owns derived generators, so the sequence is identical across
+// runs regardless of scheduling — the property the -seed flag promises
+// and TestBenchOpGenDeterministic pins down.
+type benchOpGen struct {
+	set    *smartstore.TraceSet
+	qg     *trace.QueryGen
+	rng    *rand.Rand
+	attrs  []smartstore.Attr
+	mutate float64
+	worker uint64
+	drawn  int
+}
+
+func newBenchOpGen(set *smartstore.TraceSet, mutate float64, seed, worker uint64) *benchOpGen {
+	return &benchOpGen{
+		set:    set,
+		qg:     trace.NewQueryGen(set, stats.Zipf, nil, seed+1000*worker+1),
+		rng:    stats.NewRNG(seed + 7000*worker + 3),
+		attrs:  trace.DefaultQueryAttrs(),
+		mutate: mutate,
+		worker: worker,
+	}
+}
+
+// next draws the next operation: with probability mutate an insert
+// cloning a random stored file's attributes, otherwise 20% point, 30%
+// range, 10% mixed batch, 40% top-k.
+func (g *benchOpGen) next() benchOp {
+	defer func() { g.drawn++ }()
+	if g.rng.Float64() < g.mutate {
+		src := g.set.Files[g.rng.IntN(len(g.set.Files))]
+		return benchOp{op: "insert", insert: &smartstore.File{
+			Path:  fmt.Sprintf("/bench/w%d/f%d", g.worker, g.drawn),
+			Attrs: src.Attrs,
+		}}
+	}
+	switch g.rng.IntN(10) {
+	case 0, 1:
+		return benchOp{op: "point", point: g.qg.Point(0.8)}
+	case 2, 3, 4:
+		return benchOp{op: "range", rng: g.qg.Range(0.1)}
+	case 5:
+		return benchOp{op: "batch", point: g.qg.Point(0.8), rng: g.qg.Range(0.1), topk: g.qg.TopK(8)}
+	default:
+		return benchOp{op: "topk", topk: g.qg.TopK(8)}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	smartstore "repro"
+)
+
+// Same seed and worker index ⇒ byte-identical op sequences; any seed
+// or worker change diverges. This is the contract behind -seed: a
+// reported benchmark is replayable from its JSON report alone.
+func TestBenchOpGenDeterministic(t *testing.T) {
+	set, err := smartstore.GenerateTrace("MSN", 300, 5)
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	const n = 400
+	draw := func(mutate float64, seed, worker uint64) []string {
+		g := newBenchOpGen(set, mutate, seed, worker)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = g.next().fingerprint()
+		}
+		return out
+	}
+
+	a, b := draw(0.1, 42, 3), draw(0.1, 42, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+
+	same := func(x, y []string) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, draw(0.1, 43, 3)) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	if same(a, draw(0.1, 42, 4)) {
+		t.Fatal("different workers produced identical sequences")
+	}
+
+	kinds := map[string]int{}
+	for _, g := range a {
+		kinds[g[:2]] = kinds[g[:2]] + 1
+	}
+	for _, op := range []string{"po", "ra", "ba", "to", "in"} {
+		if kinds[op] == 0 {
+			t.Fatalf("op kind %q never drawn in %d ops: %v", op, n, kinds)
+		}
+	}
+
+	// A query-only generator must never draw inserts.
+	for i, g := range draw(0, 7, 0) {
+		if g[:2] == "in" {
+			t.Fatalf("mutate=0 drew an insert at op %d", i)
+		}
+	}
+}

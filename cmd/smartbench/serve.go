@@ -30,8 +30,6 @@ import (
 	smartstore "repro"
 	"repro/internal/client"
 	"repro/internal/server"
-	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 // serveBenchOpts collects the load-generator flags.
@@ -267,64 +265,50 @@ func runBenchPass(set *smartstore.TraceSet, o serveBenchOpts, shards int) (bench
 	return res, 0
 }
 
-// benchWorker issues operations until the shared budget drains.
+// benchWorker issues operations until the shared budget drains. The
+// draw itself lives in benchOpGen so its seed-determinism is testable.
 func benchWorker(cl *client.Client, set *smartstore.TraceSet, o serveBenchOpts,
 	worker uint64, budget *atomic.Int64) []opSample {
 
-	qg := trace.NewQueryGen(set, stats.Zipf, nil, o.seed+1000*worker+1)
-	rng := stats.NewRNG(o.seed + 7000*worker + 3)
-	attrs := trace.DefaultQueryAttrs()
+	gen := newBenchOpGen(set, o.mutate, o.seed, worker)
 	var out []opSample
 	for budget.Add(-1) >= 0 {
-		var s opSample
+		op := gen.next()
+		s := opSample{op: op.op}
 		t0 := time.Now()
-		switch {
-		case rng.Float64() < o.mutate:
-			s.op = "insert"
-			src := set.Files[rng.IntN(len(set.Files))]
-			f := &smartstore.File{Path: fmt.Sprintf("/bench/w%d/f%d", worker, len(out)), Attrs: src.Attrs}
-			_, err := cl.Insert([]*smartstore.File{f})
+		switch op.op {
+		case "insert":
+			_, err := cl.Insert([]*smartstore.File{op.insert})
 			s.err = err != nil
-		default:
-			switch rng.IntN(10) {
-			case 0, 1: // 20% point
-				s.op = "point"
-				q := qg.Point(0.8)
-				resp, err := cl.Point(q.Filename)
-				s.err = err != nil
-				s.cached = err == nil && resp.Cached
-			case 2, 3, 4: // 30% range
-				s.op = "range"
-				q := qg.Range(0.1)
-				resp, err := cl.Range(attrs, q.Lo, q.Hi)
-				s.err = err != nil
-				s.cached = err == nil && resp.Cached
-			case 5: // 10% mixed batch through the multiplexed endpoint
-				s.op = "batch"
-				pq, rq, tq := qg.Point(0.8), qg.Range(0.1), qg.TopK(8)
-				resp, err := cl.QueryBatch(context.Background(), []smartstore.Query{
-					smartstore.NewPointQuery(pq.Filename),
-					smartstore.NewRangeQuery(attrs, rq.Lo, rq.Hi),
-					smartstore.NewTopKQuery(attrs, tq.Point, tq.K),
-				})
-				s.err = err != nil
-				if err == nil {
-					for _, qr := range resp.Results {
-						if qr.Error != "" {
-							s.err = true
-						}
-						if qr.Cached {
-							s.cached = true
-						}
+		case "point":
+			resp, err := cl.Point(op.point.Filename)
+			s.err = err != nil
+			s.cached = err == nil && resp.Cached
+		case "range":
+			resp, err := cl.Range(gen.attrs, op.rng.Lo, op.rng.Hi)
+			s.err = err != nil
+			s.cached = err == nil && resp.Cached
+		case "batch": // mixed batch through the multiplexed endpoint
+			resp, err := cl.QueryBatch(context.Background(), []smartstore.Query{
+				smartstore.NewPointQuery(op.point.Filename),
+				smartstore.NewRangeQuery(gen.attrs, op.rng.Lo, op.rng.Hi),
+				smartstore.NewTopKQuery(gen.attrs, op.topk.Point, op.topk.K),
+			})
+			s.err = err != nil
+			if err == nil {
+				for _, qr := range resp.Results {
+					if qr.Error != "" {
+						s.err = true
+					}
+					if qr.Cached {
+						s.cached = true
 					}
 				}
-			default: // 40% top-k
-				s.op = "topk"
-				q := qg.TopK(8)
-				resp, err := cl.TopK(attrs, q.Point, q.K)
-				s.err = err != nil
-				s.cached = err == nil && resp.Cached
 			}
+		default: // top-k
+			resp, err := cl.TopK(gen.attrs, op.topk.Point, op.topk.K)
+			s.err = err != nil
+			s.cached = err == nil && resp.Cached
 		}
 		s.d = time.Since(t0)
 		out = append(out, s)

@@ -61,6 +61,7 @@ func main() {
 	loadPath := flag.String("load", "", "restore the store from a snapshot file instead of synthesizing")
 	versioning := flag.Bool("versioning", false, "enable consistency versioning")
 	online := flag.Bool("online", false, "use the on-line multicast query path")
+	offlineBudget := flag.Int("offline-budget", 0, "off-line search budget: groups per shard and shards per query (0 = adaptive heuristics; ≥ group and shard counts = exhaustive, exact answers)")
 	autoconfig := flag.Bool("autoconfig", false, "build specialized semantic R-trees per attribute subset")
 	maxChildren := flag.Int("max-children", 0, "semantic R-tree max fan-out M (default 0 = 10)")
 	minChildren := flag.Int("min-children", 0, "semantic R-tree min fan-out m (default 0 = 2; validated 2 ≤ m ≤ M/2)")
@@ -88,6 +89,7 @@ func main() {
 		idOffset:        *idOffset,
 		versioning:      *versioning,
 		online:          *online,
+		offlineBudget:   *offlineBudget,
 		autoconfig:      *autoconfig,
 		maxChildren:     *maxChildren,
 		minChildren:     *minChildren,
@@ -199,6 +201,7 @@ type bootstrapOpts struct {
 	seed                     uint64
 	idOffset                 uint64
 	versioning, online       bool
+	offlineBudget            int
 	autoconfig               bool
 	maxChildren, minChildren int
 	dataDir                  string
@@ -226,19 +229,20 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 		}
 	}
 	cfg := smartstore.Config{
-		Units:           o.units,
-		Shards:          o.shards,
-		Seed:            o.seed,
-		Versioning:      o.versioning,
-		Mode:            mode,
-		AutoConfig:      o.autoconfig,
-		MaxChildren:     o.maxChildren,
-		MinChildren:     o.minChildren,
-		DataDir:         o.dataDir,
-		Durability:      durability,
-		SyncInterval:    o.fsyncInterval,
-		CheckpointBytes: o.checkpointBytes,
-		WALSegmentBytes: o.walSegmentBytes,
+		Units:              o.units,
+		Shards:             o.shards,
+		Seed:               o.seed,
+		Versioning:         o.versioning,
+		Mode:               mode,
+		OfflineGroupBudget: o.offlineBudget,
+		AutoConfig:         o.autoconfig,
+		MaxChildren:        o.maxChildren,
+		MinChildren:        o.minChildren,
+		DataDir:            o.dataDir,
+		Durability:         durability,
+		SyncInterval:       o.fsyncInterval,
+		CheckpointBytes:    o.checkpointBytes,
+		WALSegmentBytes:    o.walSegmentBytes,
 	}
 
 	if o.dataDir != "" && smartstore.DataDirInitialized(o.dataDir) {

@@ -70,16 +70,34 @@ func (c *Cluster) RangeOffline(q query.Range) ([]uint64, Result) {
 
 // RangeOfflineN is RangeOffline with an explicit group budget; a
 // non-positive budget selects the deployment default. The engine uses
-// it to divide one logical query's search breadth across shards.
+// it to divide one logical query's search breadth across shards. An
+// explicit budget covering every group searches all of them — the
+// heuristic sibling cut-offs only bound the *adaptive* routing, so a
+// configured exhaustive budget provably drops no contributing group
+// (the top end of the evaluation harness's recall/cost sweep).
 func (c *Cluster) RangeOfflineN(q query.Range, maxGroups int) ([]uint64, Result) {
-	if maxGroups <= 0 {
-		maxGroups = c.offlineMaxGroups()
-	}
 	home := c.HomeUnit()
-	targets := c.Tree.RouteRangeGroups(q, maxGroups)
+	targets := c.offlineTargets(maxGroups, func(m int) []*semtree.Node {
+		return c.Tree.RouteRangeGroups(q, m)
+	})
 	return c.runComplex(home, targets, func(g *semtree.Node) ([]uint64, semtree.QueryStats, int) {
 		return c.searchGroupRange(g, q)
 	}, false)
+}
+
+// offlineTargets resolves an off-line query's target groups: a
+// non-positive budget routes adaptively under the deployment default; an
+// explicit budget that covers every first-level group searches all of
+// them; anything else routes adaptively under the explicit cap.
+func (c *Cluster) offlineTargets(maxGroups int, route func(int) []*semtree.Node) []*semtree.Node {
+	groups := c.Tree.FirstLevelIndexUnits()
+	if maxGroups > 0 && maxGroups >= len(groups) {
+		return groups
+	}
+	if maxGroups <= 0 {
+		maxGroups = c.offlineMaxGroups()
+	}
+	return route(maxGroups)
 }
 
 // TopKOnline answers a top-k query via multicast over all groups.
@@ -105,13 +123,13 @@ func (c *Cluster) TopKOffline(q query.TopK) ([]uint64, Result) {
 }
 
 // TopKOfflineN is TopKOffline with an explicit group budget; a
-// non-positive budget selects the deployment default.
+// non-positive budget selects the deployment default. As with ranges,
+// an explicit budget covering every group searches all of them.
 func (c *Cluster) TopKOfflineN(q query.TopK, maxGroups int) ([]uint64, Result) {
-	if maxGroups <= 0 {
-		maxGroups = c.offlineMaxGroups()
-	}
 	home := c.HomeUnit()
-	targets := c.Tree.RouteTopKGroups(q, maxGroups)
+	targets := c.offlineTargets(maxGroups, func(m int) []*semtree.Node {
+		return c.Tree.RouteTopKGroups(q, m)
+	})
 	byGroup := map[*semtree.Node][]uint64{}
 	ids, res := c.runComplex(home, targets, func(g *semtree.Node) ([]uint64, semtree.QueryStats, int) {
 		out, st, v := c.searchGroupTopK(g, q)

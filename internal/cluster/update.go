@@ -45,25 +45,20 @@ func (c *Cluster) InsertFile(f *metadata.File) Result {
 // in place, so its pointer stays valid.
 func (c *Cluster) ModifyFile(f *metadata.File) (Result, bool) {
 	var res Result
-	for _, leaf := range c.Tree.Leaves() {
-		for _, existing := range leaf.Unit.Files {
-			if existing.ID != f.ID {
-				continue
-			}
-			existing.Attrs = f.Attrs
-			g := c.Tree.GroupOf(leaf)
-			c.ensureGroup(g)
-			c.pending[g][f.ID] = existing
-			c.chains[g].Record(version.Change{Kind: version.Modify, File: existing})
-			res.Latency = c.insertLatency(leaf)
-			res.Messages = 2
-			if c.shouldPropagate(g) {
-				res.Messages += c.Propagate(g)
-			}
-			return res, true
-		}
+	leaf, existing, ok := c.Tree.ModifyFile(f)
+	if !ok {
+		return res, false
 	}
-	return res, false
+	g := c.Tree.GroupOf(leaf)
+	c.ensureGroup(g)
+	c.pending[g][f.ID] = existing
+	c.chains[g].Record(version.Change{Kind: version.Modify, File: existing})
+	res.Latency = c.insertLatency(leaf)
+	res.Messages = 2
+	if c.shouldPropagate(g) {
+		res.Messages += c.Propagate(g)
+	}
+	return res, true
 }
 
 // DeleteFile removes a file from the cluster, recording the deletion.

@@ -72,6 +72,14 @@ type Config struct {
 	// settings. Shard 0 uses Cluster.Seed verbatim; later shards derive
 	// distinct deterministic seeds from it.
 	Cluster cluster.Config
+	// OfflineGroupBudget overrides the off-line search breadth: each
+	// shard's off-line complex query searches at most this many groups,
+	// and a multi-shard off-line top-k fans out to at most this many
+	// shards. 0 keeps the adaptive heuristics (offlineMaxGroups /
+	// SharedOfflineBudget / offlineMaxShards); a budget at least the
+	// group and shard counts makes the off-line path exhaustive. The
+	// evaluation harness sweeps this knob to map the recall/cost curve.
+	OfflineGroupBudget int
 	// Norm, when fitted, is used verbatim instead of fitting a
 	// normalizer to the build corpus. A federation of stores must share
 	// one normalization so distances — and therefore top-k answers —
@@ -151,6 +159,9 @@ func Build(files []*metadata.File, cfg Config) (*Engine, error) {
 	if cfg.Shards > len(files) {
 		return nil, fmt.Errorf("engine: %d shards invalid for %d files", cfg.Shards, len(files))
 	}
+	if cfg.OfflineGroupBudget < 0 {
+		return nil, fmt.Errorf("engine: negative offline group budget %d", cfg.OfflineGroupBudget)
+	}
 	if err := cfg.Tree.Validate(); err != nil {
 		return nil, err
 	}
@@ -202,7 +213,7 @@ func Restore(trees []*semtree.Tree, cfg Config) (*Engine, error) {
 	for i, t := range trees {
 		clCfg := cfg.Cluster
 		clCfg.Seed = seedFor(cfg.Cluster.Seed, i)
-		e.shards[i] = restoreShard(i, t, clCfg)
+		e.shards[i] = restoreShard(i, t, clCfg, cfg.OfflineGroupBudget)
 		files := t.AllFiles()
 		e.centroids[i] = centroidOf(e.norm, files, t.Attrs)
 		for _, f := range files {

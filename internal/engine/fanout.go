@@ -138,10 +138,16 @@ func (e *Engine) fanout(ctx context.Context, targets []int, run func(ctx context
 // touch: the most-correlated shard plus a few siblings, growing slowly
 // with the shard count — the shard-level analogue of the cluster's
 // offlineMaxGroups, keeping the search "bounded within one or a small
-// number of tree nodes" (§3.1.2) at any scale.
+// number of tree nodes" (§3.1.2) at any scale. A configured
+// OfflineGroupBudget overrides the heuristic, clamped to the shard
+// count: a budget ≥ the shard count targets every shard, so routing
+// can never drop a shard that would contribute to the exact answer.
 func (e *Engine) offlineMaxShards() int {
 	n := len(e.shards)
 	m := 1 + n/4
+	if e.cfg.OfflineGroupBudget > 0 {
+		m = e.cfg.OfflineGroupBudget
+	}
 	if m > n {
 		m = n
 	}

@@ -46,6 +46,10 @@ type Shard struct {
 	// order and an acknowledged mutation is always on disk before the
 	// acknowledgement, while same-shard writers overlap their fsyncs.
 	log *wal.Log
+
+	// budget is the configured off-line group budget override
+	// (Config.OfflineGroupBudget); 0 keeps the adaptive heuristics.
+	budget int
 }
 
 // buildShard mirrors the original Store construction over one shard's
@@ -60,7 +64,8 @@ func buildShard(id int, files []*metadata.File, norm *metadata.Normalizer,
 	clusterCfg := cfg.Cluster
 	clusterCfg.Seed = seed
 
-	s := &Shard{id: id, attrs: cfg.Attrs, clusters: map[*semtree.Tree]*cluster.Cluster{}}
+	s := &Shard{id: id, attrs: cfg.Attrs, clusters: map[*semtree.Tree]*cluster.Cluster{},
+		budget: cfg.OfflineGroupBudget}
 
 	units := semtree.PlaceSemantic(files, unitCount, norm, cfg.Attrs)
 	primaryTree := semtree.Build(units, norm, treeCfg)
@@ -82,11 +87,12 @@ func buildShard(id int, files []*metadata.File, norm *metadata.Normalizer,
 // restoreShard wraps a deployment around a tree restored from a
 // snapshot. Specialized auto-configuration trees are not persisted and
 // not rebuilt here, matching the original Load behaviour.
-func restoreShard(id int, tree *semtree.Tree, clusterCfg cluster.Config) *Shard {
+func restoreShard(id int, tree *semtree.Tree, clusterCfg cluster.Config, budget int) *Shard {
 	s := &Shard{
 		id:       id,
 		attrs:    tree.Attrs,
 		clusters: map[*semtree.Tree]*cluster.Cluster{},
+		budget:   budget,
 	}
 	s.primary = cluster.New(tree, clusterCfg)
 	s.clusters[tree] = s.primary
@@ -112,6 +118,16 @@ func (s *Shard) clusterFor(attrs []metadata.Attr) *cluster.Cluster {
 		return s.primary
 	}
 	return s.clusters[s.forest.SelectTree(attrs)]
+}
+
+// offlineBudget resolves the off-line group budget of a sharded
+// fan-out on this shard: the configured override wins; otherwise the
+// deployment's shared heuristic budget.
+func (s *Shard) offlineBudget(c *cluster.Cluster) int {
+	if s.budget > 0 {
+		return s.budget
+	}
+	return c.SharedOfflineBudget()
 }
 
 func sameAttrs(a, b []metadata.Attr) bool {
@@ -208,9 +224,9 @@ func (s *Shard) rangeQuery(ctx context.Context, q query.Range, online, sharded b
 		case online:
 			a.ids, a.res = c.RangeOnline(q)
 		case sharded:
-			a.ids, a.res = c.RangeOfflineN(q, c.SharedOfflineBudget())
+			a.ids, a.res = c.RangeOfflineN(q, s.offlineBudget(c))
 		default:
-			a.ids, a.res = c.RangeOffline(q)
+			a.ids, a.res = c.RangeOfflineN(q, s.budget)
 		}
 		s.project(c, &a, opts.records, opts.max)
 		return ctx.Err()
@@ -234,9 +250,9 @@ func (s *Shard) topK(ctx context.Context, q query.TopK, online, sharded, wantDis
 		case online:
 			a.ids, a.res = c.TopKOnline(q)
 		case sharded:
-			a.ids, a.res = c.TopKOfflineN(q, c.SharedOfflineBudget())
+			a.ids, a.res = c.TopKOfflineN(q, s.offlineBudget(c))
 		default:
-			a.ids, a.res = c.TopKOffline(q)
+			a.ids, a.res = c.TopKOfflineN(q, s.budget)
 		}
 		if wantDists {
 			a.dists = make([]float64, len(a.ids))

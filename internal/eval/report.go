@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LatencyStat summarizes one op kind's client-observed latency.
+type LatencyStat struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// RecallStat summarizes recall over one query class, measured per
+// query against the single-union-store ground truth (§5.4.2:
+// |T(q) ∩ A(q)| / |T(q)|, empty truth = 1).
+type RecallStat struct {
+	Queries int     `json:"queries"`
+	Mean    float64 `json:"mean"`
+	Min     float64 `json:"min"`
+}
+
+// Config tags a result with the deployment knobs it ran under — the
+// sweep axes of cmd/smarteval.
+type Config struct {
+	Endpoint      string `json:"endpoint"`
+	Shards        int    `json:"shards,omitempty"`
+	Fsync         string `json:"fsync,omitempty"`
+	Wire          string `json:"wire"`
+	OfflineBudget int    `json:"offline_budget,omitempty"`
+	Mode          string `json:"mode,omitempty"`
+}
+
+// ScenarioResult is one scenario × config cell of EVAL_report.json.
+type ScenarioResult struct {
+	Scenario string `json:"scenario"`
+	Desc     string `json:"desc,omitempty"`
+	Trace    string `json:"trace"`
+	Tenants  int    `json:"tenants"`
+	Config   Config `json:"config"`
+
+	Files   int    `json:"files"`
+	Ops     int    `json:"ops"`
+	Clients int    `json:"clients"`
+	Seed    uint64 `json:"seed"`
+
+	WallSec    float64 `json:"wall_sec"`
+	Throughput float64 `json:"throughput_ops_sec"`
+	Errors     int     `json:"errors"`
+	Mutations  int     `json:"mutations"`
+	Flushes    int     `json:"flushes"`
+
+	PerOp map[string]*LatencyStat `json:"per_op"`
+
+	RangeRecall *RecallStat `json:"range_recall,omitempty"`
+	TopKRecall  *RecallStat `json:"topk_recall,omitempty"`
+	// RangeSpurious counts answered range ids outside the exact truth.
+	// With the round-flush protocol it should be zero; nonzero values
+	// flag a staleness or correctness bug, not a recall artefact.
+	RangeSpurious int `json:"range_spurious"`
+
+	PointQueries int     `json:"point_queries"`
+	PointHits    int     `json:"point_hits"`
+	PointHitRate float64 `json:"point_hit_rate"`
+
+	// Mismatches counts mutation verdicts where the server and the
+	// mirror disagreed (e.g. a delete the server found but the truth
+	// did not) — any nonzero value invalidates the recall comparison.
+	Mismatches int `json:"mismatches"`
+}
+
+// CheckFloors validates the result against recall floors (0 disables a
+// floor). It returns every violation, empty when the gate passes.
+func (r *ScenarioResult) CheckFloors(rangeFloor, topkFloor float64) []string {
+	var out []string
+	if rangeFloor > 0 && r.RangeRecall != nil && r.RangeRecall.Mean < rangeFloor {
+		out = append(out, fmt.Sprintf("%s: range recall %.4f below floor %.4f",
+			r.Scenario, r.RangeRecall.Mean, rangeFloor))
+	}
+	if topkFloor > 0 && r.TopKRecall != nil && r.TopKRecall.Mean < topkFloor {
+		out = append(out, fmt.Sprintf("%s: topk recall %.4f below floor %.4f",
+			r.Scenario, r.TopKRecall.Mean, topkFloor))
+	}
+	if r.Mismatches > 0 {
+		out = append(out, fmt.Sprintf("%s: %d server/truth mutation verdict mismatches", r.Scenario, r.Mismatches))
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0–100) of samples by
+// nearest-rank on a sorted copy; 0 for an empty set.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// latStat folds latency samples (milliseconds) into a LatencyStat.
+func latStat(samples []float64, errors int) *LatencyStat {
+	st := &LatencyStat{Count: len(samples), Errors: errors}
+	if len(samples) == 0 {
+		return st
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	st.MeanMs = sum / float64(len(samples))
+	st.P50Ms = Percentile(samples, 50)
+	st.P95Ms = Percentile(samples, 95)
+	st.P99Ms = Percentile(samples, 99)
+	return st
+}
+
+// recallStat folds per-query recalls into a RecallStat (nil when the
+// class never ran).
+func recallStat(recalls []float64) *RecallStat {
+	if len(recalls) == 0 {
+		return nil
+	}
+	st := &RecallStat{Queries: len(recalls), Min: math.Inf(1)}
+	sum := 0.0
+	for _, r := range recalls {
+		sum += r
+		if r < st.Min {
+			st.Min = r
+		}
+	}
+	st.Mean = sum / float64(len(recalls))
+	return st
+}

@@ -486,6 +486,26 @@ func (t *Tree) InsertFile(f *metadata.File) *Node {
 	return cur
 }
 
+// ModifyFile replaces a stored file's attributes in place and refreshes
+// the owning unit's MBR plus the summaries on the root path. The path
+// refresh is not optional: attributes moving outside the old MBR would
+// otherwise leave the file invisible to range and top-k descent, which
+// prune subtrees by MBR. It returns the stored record and its leaf.
+func (t *Tree) ModifyFile(f *metadata.File) (*Node, *metadata.File, bool) {
+	for _, leaf := range t.leaves {
+		for _, existing := range leaf.Unit.Files {
+			if existing.ID != f.ID {
+				continue
+			}
+			existing.Attrs = f.Attrs
+			leaf.Unit.recomputeMBR()
+			leaf.refreshUp(t.Norm, t.Attrs)
+			return leaf, existing, true
+		}
+	}
+	return nil, nil, false
+}
+
 // DeleteFile removes the file with the given id from the unit that
 // holds it, reporting success.
 func (t *Tree) DeleteFile(id uint64) bool {

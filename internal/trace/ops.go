@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/metadata"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// OpKind identifies one operation of a generated workload stream.
+type OpKind uint8
+
+const (
+	// OpPoint is an exact-pathname lookup.
+	OpPoint OpKind = iota
+	// OpRange is a multi-dimensional range query.
+	OpRange
+	// OpTopK is a top-k nearest-neighbour query.
+	OpTopK
+	// OpInsert creates a new file whose attributes are drawn from the
+	// trace's distributions.
+	OpInsert
+	// OpDelete removes an existing file by id.
+	OpDelete
+	// OpModify rewrites an existing file's attribute vector.
+	OpModify
+)
+
+// String returns the wire name of the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpPoint:
+		return "point"
+	case OpRange:
+		return "range"
+	case OpTopK:
+		return "topk"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpModify:
+		return "modify"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Mix weighs the operation kinds of a stream. Weights are relative (they
+// need not sum to 1); a zero-value Mix defaults to the read-mostly serve
+// mix (2 point : 3 range : 4 top-k : 1 batch-ish top-k).
+type Mix struct {
+	Point, Range, TopK, Insert, Delete, Modify float64
+}
+
+func (m Mix) total() float64 {
+	return m.Point + m.Range + m.TopK + m.Insert + m.Delete + m.Modify
+}
+
+func (m Mix) withDefaults() Mix {
+	if m.total() <= 0 {
+		return Mix{Point: 2, Range: 3, TopK: 5}
+	}
+	return m
+}
+
+// StreamSpec parameterizes one deterministic operation stream over a
+// generated Set — the scenario composition surface the evaluation
+// harness (internal/eval, cmd/smarteval) sweeps over. The zero value is
+// a steady, Zipf-anchored, read-only mix over DefaultQueryAttrs.
+type StreamSpec struct {
+	// Mix weighs the operation kinds.
+	Mix Mix
+	// Dist is the anchor distribution of query coordinates over the
+	// popularity-ordered population (§5.1): Uniform, Gauss or Zipf.
+	Dist stats.Distribution
+	// Attrs names the queried dimensions (nil → DefaultQueryAttrs). A
+	// multi-tenant scenario interleaves streams with different subsets.
+	Attrs []metadata.Attr
+	// RangeWidth is the per-dimension window fraction of range queries
+	// (0 → 0.05; scan-heavy scenarios use wide windows).
+	RangeWidth float64
+	// K is the top-k answer size (0 → 8).
+	K int
+	// PointHitRate is the fraction of point queries naming an existing
+	// file (0 → 0.8).
+	PointHitRate float64
+
+	// Arrival shaping. A zero OpGap generates a dense (closed-loop)
+	// stream: every op is due at time zero. With OpGap > 0, ops arrive
+	// OpGap seconds apart; with BurstLen > 0 they instead arrive in
+	// back-to-back bursts of BurstLen separated by BurstGap seconds —
+	// the bursty temporal locality knob.
+	OpGap    float64
+	BurstLen int
+	BurstGap float64
+}
+
+func (s StreamSpec) withDefaults() StreamSpec {
+	s.Mix = s.Mix.withDefaults()
+	if s.Attrs == nil {
+		s.Attrs = DefaultQueryAttrs()
+	}
+	if s.RangeWidth <= 0 {
+		s.RangeWidth = 0.05
+	}
+	if s.K <= 0 {
+		s.K = 8
+	}
+	if s.PointHitRate <= 0 {
+		s.PointHitRate = 0.8
+	}
+	return s
+}
+
+// Op is one generated operation. Exactly the fields of its Kind are
+// meaningful: Point/Range/TopK carry the prebuilt query, Insert carries
+// a fresh File (ID zero — the serving layer allocates), Delete and
+// Modify carry the target id (Modify also carries the replacement
+// attribute vector in File).
+type Op struct {
+	Kind  OpKind
+	Point query.Point
+	Range query.Range
+	TopK  query.TopK
+	File  *metadata.File
+	ID    uint64
+	// At is the op's arrival offset in seconds from stream start under
+	// the spec's arrival shaping (0 for dense streams).
+	At float64
+}
+
+// Fingerprint renders the op's full identity as a string — what the
+// determinism tests and byte-identical replay comparisons hash. Two ops
+// with equal fingerprints are the same operation.
+func (o Op) Fingerprint() string {
+	switch o.Kind {
+	case OpPoint:
+		return fmt.Sprintf("point at=%.6f path=%s", o.At, o.Point.Filename)
+	case OpRange:
+		return fmt.Sprintf("range at=%.6f attrs=%v lo=%v hi=%v", o.At, o.Range.Attrs, o.Range.Lo, o.Range.Hi)
+	case OpTopK:
+		return fmt.Sprintf("topk at=%.6f attrs=%v point=%v k=%d", o.At, o.TopK.Attrs, o.TopK.Point, o.TopK.K)
+	case OpInsert:
+		return fmt.Sprintf("insert at=%.6f path=%s attrs=%v", o.At, o.File.Path, o.File.Attrs)
+	case OpDelete:
+		return fmt.Sprintf("delete at=%.6f id=%d", o.At, o.ID)
+	case OpModify:
+		return fmt.Sprintf("modify at=%.6f id=%d attrs=%v", o.At, o.ID, o.File.Attrs)
+	}
+	return fmt.Sprintf("op(%d)", int(o.Kind))
+}
+
+// OpStream generates the deterministic operation sequence of one
+// StreamSpec over a Set: same set, spec and seed ⇒ byte-identical op
+// order (Op.Fingerprint), regardless of how the ops are later scheduled.
+type OpStream struct {
+	set     *Set
+	spec    StreamSpec
+	rng     *rand.Rand
+	qg      *QueryGen
+	mutIdx  *stats.ZipfGen // skewed target choice for delete/modify
+	seq     int
+	nextIns uint64
+}
+
+// NewOpStream builds a stream for the spec over the set, deterministic
+// in seed. The underlying QueryGen derives its own seed from the
+// stream's, so one seed pins both the coordinates and the op order.
+func NewOpStream(set *Set, spec StreamSpec, seed uint64) *OpStream {
+	spec = spec.withDefaults()
+	return &OpStream{
+		set:    set,
+		spec:   spec,
+		rng:    stats.NewRNG(seed),
+		qg:     NewQueryGen(set, spec.Dist, spec.Attrs, seed^0xA5A5_5A5A_F00D_BEEF),
+		mutIdx: stats.NewZipfGen(stats.NewRNG(seed+77), 1.05, len(set.Files)),
+	}
+}
+
+// at computes the arrival offset of the op with ordinal i.
+func (s *OpStream) at(i int) float64 {
+	sp := s.spec
+	if sp.BurstLen > 0 && sp.BurstGap > 0 {
+		burst := i / sp.BurstLen
+		within := i % sp.BurstLen
+		return float64(burst)*sp.BurstGap + float64(within)*sp.OpGap
+	}
+	if sp.OpGap > 0 {
+		return float64(i) * sp.OpGap
+	}
+	return 0
+}
+
+// Next draws the next operation. The stream is infinite; callers take
+// as many ops as the run needs.
+func (s *OpStream) Next() Op {
+	m := s.spec.Mix
+	u := s.rng.Float64() * m.total()
+	op := Op{At: s.at(s.seq)}
+	s.seq++
+	switch {
+	case u < m.Point:
+		op.Kind = OpPoint
+		op.Point = s.qg.Point(s.spec.PointHitRate)
+	case u < m.Point+m.Range:
+		op.Kind = OpRange
+		op.Range = s.qg.Range(s.spec.RangeWidth)
+	case u < m.Point+m.Range+m.TopK:
+		op.Kind = OpTopK
+		op.TopK = s.qg.TopK(s.spec.K)
+	case u < m.Point+m.Range+m.TopK+m.Insert:
+		op.Kind = OpInsert
+		src := s.set.Files[s.mutIdx.Next()]
+		s.nextIns++
+		f := &metadata.File{Path: fmt.Sprintf("/stream/s%06d.dat", s.nextIns)}
+		f.Attrs = src.Attrs
+		// Jitter the behavioural attributes so inserts are not exact
+		// clones (they stay inside the fitted normalization bounds).
+		for _, a := range []metadata.Attr{metadata.AttrReadBytes, metadata.AttrWriteBytes} {
+			lo, hi := s.set.Norm.Bounds(a)
+			f.Attrs[a] = clampF(f.Attrs[a]*(0.5+s.rng.Float64()), lo, hi)
+		}
+		op.File = f
+	case u < m.Point+m.Range+m.TopK+m.Insert+m.Delete:
+		op.Kind = OpDelete
+		op.ID = s.set.Files[s.mutIdx.Next()].ID
+	default:
+		op.Kind = OpModify
+		src := s.set.Files[s.mutIdx.Next()]
+		donor := s.set.Files[s.rng.IntN(len(s.set.Files))]
+		f := &metadata.File{ID: src.ID, Path: src.Path, Attrs: donor.Attrs}
+		op.ID = src.ID
+		op.File = f
+	}
+	return op
+}
+
+// Take draws the next n operations.
+func (s *OpStream) Take(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Interleave merges several per-tenant op sequences into one stream,
+// picking the next tenant deterministically in seed and re-basing
+// arrival offsets so tenants overlap — the multi-tenant composition of
+// the evaluation harness. Each input sequence's internal order is
+// preserved (the §5.1 sub-trace replay rule, applied to tenants).
+func Interleave(seed uint64, tenants ...[]Op) []Op {
+	rng := stats.NewRNG(seed ^ 0xC0FFEE)
+	total := 0
+	for _, t := range tenants {
+		total += len(t)
+	}
+	out := make([]Op, 0, total)
+	idx := make([]int, len(tenants))
+	for len(out) < total {
+		// Weight the draw by remaining ops so long tenants do not trail
+		// in one solid run at the end.
+		rem := 0
+		for i, t := range tenants {
+			rem += len(t) - idx[i]
+		}
+		u := rng.IntN(rem)
+		for i, t := range tenants {
+			n := len(t) - idx[i]
+			if u < n {
+				out = append(out, t[idx[i]])
+				idx[i]++
+				break
+			}
+			u -= n
+		}
+	}
+	return out
+}

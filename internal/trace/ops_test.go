@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/stats"
+)
+
+// popFingerprint renders a generated population byte-for-byte: paths
+// plus %x-formatted attributes (exact for float64, so no rounding can
+// mask a divergence).
+func popFingerprint(set *Set) string {
+	var b strings.Builder
+	for _, f := range set.Files {
+		fmt.Fprintf(&b, "%d|%s|%x\n", f.ID, f.Path, f.Attrs)
+	}
+	return b.String()
+}
+
+// TestSeededDeterminismAllSpecs: same seed ⇒ byte-identical generated
+// population across all three paper traces, and a different seed
+// diverges. This is what makes eval runs reproducible in CI.
+func TestSeededDeterminismAllSpecs(t *testing.T) {
+	for _, spec := range []*Spec{HP(), MSN(), EECS()} {
+		t.Run(spec.Name, func(t *testing.T) {
+			a := popFingerprint(spec.Generate(500, 42))
+			b := popFingerprint(spec.Generate(500, 42))
+			if a != b {
+				t.Fatal("same seed produced different populations")
+			}
+			c := popFingerprint(spec.Generate(500, 43))
+			if a == c {
+				t.Fatal("different seed produced identical population")
+			}
+		})
+	}
+}
+
+// TestOpStreamDeterministic: same (set, spec, seed) ⇒ byte-identical op
+// order across all three traces and every arrival/mix shape the eval
+// scenarios use.
+func TestOpStreamDeterministic(t *testing.T) {
+	specs := map[string]StreamSpec{
+		"read-zipf":    {Dist: stats.Zipf},
+		"scan-uniform": {Dist: stats.Uniform, Mix: Mix{Range: 8, TopK: 1, Point: 1}, RangeWidth: 0.25},
+		"insert-heavy": {Dist: stats.Zipf, Mix: Mix{Point: 1, Range: 2, TopK: 2, Insert: 4, Delete: 0.5, Modify: 0.5}},
+		"bursty":       {Dist: stats.Gauss, BurstLen: 16, BurstGap: 0.02, OpGap: 0.0002},
+		"tenant-attrs": {Dist: stats.Zipf, Attrs: []metadata.Attr{metadata.AttrSize, metadata.AttrATime}},
+	}
+	for _, tr := range []*Spec{HP(), MSN(), EECS()} {
+		set := tr.Generate(400, 7)
+		for name, sp := range specs {
+			t.Run(tr.Name+"/"+name, func(t *testing.T) {
+				a := NewOpStream(set, sp, 99).Take(300)
+				b := NewOpStream(set, sp, 99).Take(300)
+				for i := range a {
+					if a[i].Fingerprint() != b[i].Fingerprint() {
+						t.Fatalf("op %d diverged:\n  %s\n  %s", i, a[i].Fingerprint(), b[i].Fingerprint())
+					}
+				}
+				c := NewOpStream(set, sp, 100).Take(300)
+				same := true
+				for i := range a {
+					if a[i].Fingerprint() != c[i].Fingerprint() {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Fatal("different seed produced identical op stream")
+				}
+			})
+		}
+	}
+}
+
+// TestOpStreamMixAndArrivals: the generated stream respects the mix
+// (every weighted kind appears, unweighted kinds never do) and the
+// bursty arrival shape is monotone with back-to-back bursts.
+func TestOpStreamMixAndArrivals(t *testing.T) {
+	set := MSN().Generate(300, 3)
+	sp := StreamSpec{
+		Dist:     stats.Zipf,
+		Mix:      Mix{Point: 1, Range: 1, TopK: 1, Insert: 1, Delete: 1, Modify: 1},
+		BurstLen: 8,
+		BurstGap: 0.05,
+		OpGap:    0.001,
+	}
+	ops := NewOpStream(set, sp, 5).Take(600)
+	seen := map[OpKind]int{}
+	last := -1.0
+	for i, op := range ops {
+		seen[op.Kind]++
+		if op.At < last {
+			t.Fatalf("op %d arrival %.6f precedes %.6f", i, op.At, last)
+		}
+		last = op.At
+	}
+	for _, k := range []OpKind{OpPoint, OpRange, OpTopK, OpInsert, OpDelete, OpModify} {
+		if seen[k] == 0 {
+			t.Fatalf("kind %s never generated in 600 ops", k)
+		}
+	}
+	// First burst: ops 0..7 are OpGap apart; op 8 starts the next burst.
+	if got, want := ops[8].At, sp.BurstGap; got != want {
+		t.Fatalf("burst 2 starts at %.6f, want %.6f", got, want)
+	}
+	// Read-only default mix never mutates.
+	for i, op := range NewOpStream(set, StreamSpec{Dist: stats.Uniform}, 6).Take(400) {
+		if op.Kind == OpInsert || op.Kind == OpDelete || op.Kind == OpModify {
+			t.Fatalf("op %d: zero-weight kind %s generated", i, op.Kind)
+		}
+	}
+}
+
+// TestOpStreamInsertsWithinBounds: insert payloads stay inside the
+// fitted normalization bounds (so served stores and the ground-truth
+// mirror normalize them identically), carry no pre-assigned id, and get
+// unique paths.
+func TestOpStreamInsertsWithinBounds(t *testing.T) {
+	set := HP().Generate(300, 11)
+	sp := StreamSpec{Dist: stats.Zipf, Mix: Mix{Insert: 1}}
+	paths := map[string]bool{}
+	for i, op := range NewOpStream(set, sp, 21).Take(200) {
+		if op.Kind != OpInsert {
+			t.Fatalf("op %d: kind %s, want insert", i, op.Kind)
+		}
+		if op.File.ID != 0 {
+			t.Fatalf("op %d: insert carries pre-assigned id %d", i, op.File.ID)
+		}
+		if paths[op.File.Path] {
+			t.Fatalf("op %d: duplicate insert path %s", i, op.File.Path)
+		}
+		paths[op.File.Path] = true
+		for a := metadata.Attr(0); a < metadata.NumAttrs; a++ {
+			lo, hi := set.Norm.Bounds(a)
+			if v := op.File.Attrs[a]; v < lo || v > hi {
+				t.Fatalf("op %d: attr %v = %g outside fitted bounds [%g,%g]", i, a, v, lo, hi)
+			}
+		}
+	}
+}
+
+// TestInterleave: deterministic in seed, preserves each tenant's
+// internal order, and emits every op exactly once.
+func TestInterleave(t *testing.T) {
+	set := MSN().Generate(200, 9)
+	// Query-only mixes so every op carries its tenant's attribute set
+	// (the subsequence check below splits by attribute arity).
+	t1 := NewOpStream(set, StreamSpec{Dist: stats.Zipf, Mix: Mix{Range: 1, TopK: 1}}, 1).Take(50)
+	t2 := NewOpStream(set, StreamSpec{Dist: stats.Uniform, Mix: Mix{Range: 1, TopK: 1},
+		Attrs: []metadata.Attr{metadata.AttrSize, metadata.AttrATime}}, 2).Take(80)
+
+	a := Interleave(4, t1, t2)
+	b := Interleave(4, t1, t2)
+	if len(a) != 130 {
+		t.Fatalf("interleaved %d ops, want 130", len(a))
+	}
+	for i := range a {
+		if a[i].Fingerprint() != b[i].Fingerprint() {
+			t.Fatalf("interleave not deterministic at op %d", i)
+		}
+	}
+	// Subsequence check: removing the other tenant's ops recovers each
+	// tenant's stream in order.
+	var got1, got2 []Op
+	for _, op := range a {
+		if len(op.TopK.Attrs) == 2 || len(op.Range.Attrs) == 2 {
+			got2 = append(got2, op)
+		} else {
+			got1 = append(got1, op)
+		}
+	}
+	if len(got1) != len(t1) || len(got2) != len(t2) {
+		t.Fatalf("tenant split %d/%d, want %d/%d", len(got1), len(got2), len(t1), len(t2))
+	}
+	for i := range t1 {
+		if got1[i].Fingerprint() != t1[i].Fingerprint() {
+			t.Fatalf("tenant 1 order broken at op %d", i)
+		}
+	}
+	for i := range t2 {
+		if got2[i].Fingerprint() != t2[i].Fingerprint() {
+			t.Fatalf("tenant 2 order broken at op %d", i)
+		}
+	}
+}

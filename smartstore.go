@@ -188,6 +188,14 @@ type Config struct {
 	// must share a normalizer fitted over the union of their corpora
 	// (FitNormalizer) so cross-store distances agree.
 	Normalizer *Normalizer
+	// OfflineGroupBudget overrides the off-line search breadth: each
+	// shard's off-line complex query searches at most this many index
+	// groups, and a sharded off-line top-k targets at most this many
+	// shards. 0 (the default) keeps the paper's adaptive heuristics; a
+	// budget at least the group and shard counts makes the off-line
+	// path exhaustive. Negative is rejected by Build. The evaluation
+	// harness (cmd/smarteval) sweeps this knob to map recall vs cost.
+	OfflineGroupBudget int
 }
 
 // engineConfig maps the public configuration onto the engine layer's.
@@ -212,7 +220,8 @@ func (cfg Config) engineConfig() engine.Config {
 			Seed:                cfg.Seed,
 			VirtualScale:        cfg.VirtualScale,
 		},
-		Norm: cfg.Normalizer,
+		Norm:               cfg.Normalizer,
+		OfflineGroupBudget: cfg.OfflineGroupBudget,
 	}
 }
 
