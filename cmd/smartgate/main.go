@@ -17,6 +17,14 @@
 // backends were built against a shared normalizer and hold disjoint
 // id spaces — see DESIGN.md §9.
 //
+// With -followers (positional, parallel to -backends; leave a slot
+// empty for a member without one) a down member whose follower reports
+// itself caught up is failed over: the gateway promotes the follower
+// and repoints the member at it, so fan-outs answer complete instead
+// of partial. Fail-back is an operator action — see DESIGN.md §11.
+//
+//	smartgate -addr :7080 -backends a:7070,b:7070 -followers a2:7070,b2:7070
+//
 // Probe it exactly like a smartstored:
 //
 //	curl -s localhost:7080/v1/stats
@@ -50,6 +58,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max requests waiting for a worker (0 = 8×workers)")
 	metricsOn := flag.Bool("metrics", true, "expose Prometheus metrics at /v1/metrics")
 	bootstrapWait := flag.Duration("bootstrap-wait", 15*time.Second, "how long to retry unreachable backends at startup")
+	followers := flag.String("followers", "", "comma-separated follower addresses, positional with -backends (empty slot = member has no follower)")
 	flag.Parse()
 
 	if *backends == "" {
@@ -61,9 +70,18 @@ func main() {
 			members = append(members, b)
 		}
 	}
+	// Follower slots are positional — unlike -backends, empty entries
+	// are kept so "a2,,c2" leaves the middle member without a follower.
+	var followerAddrs []string
+	if *followers != "" {
+		for _, f := range strings.Split(*followers, ",") {
+			followerAddrs = append(followerAddrs, strings.TrimSpace(f))
+		}
+	}
 
 	g, err := gateway.New(gateway.Options{
 		Backends:       members,
+		Followers:      followerAddrs,
 		HealthEvery:    *healthEvery,
 		Timeout:        *timeout,
 		Retries:        *retries,

@@ -25,6 +25,14 @@
 // panic), -fsync always, -checkpoint-every 5m, -checkpoint-bytes 0
 // (size trigger off).
 //
+// With -follow the daemon runs as a replication follower instead of a
+// leader: it bootstraps from the leader's snapshot endpoint, tails its
+// per-shard WAL segment streams, and serves the same query API
+// read-only (mutations answer 503) until POST /v1/repl/promote — or a
+// smartgate failing the dead leader over — promotes it to a writable
+// standalone store. See DESIGN.md §11 for the protocol and the
+// failover state machine.
+//
 // Probe it with curl (see DESIGN.md §5 for the full API and §7 for the
 // durability design):
 //
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	smartstore "repro"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -77,9 +86,16 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "expose Prometheus metrics at /v1/metrics")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (off by default; enables remote profiling)")
 	slowQuery := flag.Duration("slow-query", 0, "log any request slower than this with its per-phase breakdown (0 disables)")
+	follow := flag.String("follow", "", "run as a replication follower of this leader address (read-only until promoted; see DESIGN.md §11)")
+	followPoll := flag.Duration("follow-poll", 250*time.Millisecond, "WAL tail poll period while caught up with -follow")
 	flag.Parse()
 
-	store, desc, err := bootstrap(bootstrapOpts{
+	// The signal context is created before bootstrap so a follower's
+	// snapshot fetch and catch-up are themselves interruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bo := bootstrapOpts{
 		loadPath:        *loadPath,
 		trace:           *traceName,
 		files:           *files,
@@ -98,18 +114,50 @@ func main() {
 		fsyncInterval:   *fsyncInterval,
 		checkpointBytes: *checkpointBytes,
 		walSegmentBytes: *walSegmentBytes,
-	})
-	if err != nil {
-		log.Fatalf("smartstored: %v", err)
 	}
 
-	srv := server.New(store, server.Options{
+	var store *smartstore.Store
+	var desc string
+	var err error
+	var follower *repl.Follower
+	if *follow != "" {
+		if *loadPath != "" {
+			log.Fatal("smartstored: -follow is incompatible with -load (the follower bootstraps from the leader's snapshot)")
+		}
+		cfg, cErr := buildConfig(bo)
+		if cErr != nil {
+			log.Fatalf("smartstored: %v", cErr)
+		}
+		store, desc, err = repl.Bootstrap(ctx, *follow, *dataDir, cfg, repl.Options{
+			PollEvery: *followPoll,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("smartstored: %v", err)
+		}
+		follower = repl.New(store, *follow, repl.Options{
+			PollEvery: *followPoll,
+			Logf:      log.Printf,
+		})
+	} else {
+		store, desc, err = bootstrap(bo)
+		if err != nil {
+			log.Fatalf("smartstored: %v", err)
+		}
+	}
+
+	srvOpts := server.Options{
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
 		MaxQueue:       *queue,
 		DisableMetrics: !*metricsOn,
 		SlowQuery:      *slowQuery,
-	})
+	}
+	if follower != nil {
+		srvOpts.ReadOnly = true
+		srvOpts.Repl = follower
+	}
+	srv := server.New(store, srvOpts)
 	var handler http.Handler = srv
 	if *pprofOn {
 		// pprof stays opt-in: it exposes heap contents and stack traces,
@@ -133,8 +181,11 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+
+	if follower != nil {
+		log.Printf("smartstored: following %s (read-only until promoted)", *follow)
+		go follower.Run(ctx)
+	}
 
 	// Periodic checkpoint: fold the WAL tails into the snapshot and
 	// truncate the logs, bounding both recovery replay time and log
@@ -211,11 +262,10 @@ type bootstrapOpts struct {
 	walSegmentBytes          int64
 }
 
-// bootstrap builds the store: recovered from an initialized data dir,
-// restored from a snapshot file, or synthesized from a trace. With a
-// data dir, bootstrap sources initialize it (refusing one that already
-// holds a deployment) and recovery replays its WAL tails.
-func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
+// buildConfig translates the operator flags into a store Config; it is
+// shared by leader bootstrap and follower bootstrap (repl.Bootstrap),
+// so both modes interpret -fsync, -units and friends identically.
+func buildConfig(o bootstrapOpts) (smartstore.Config, error) {
 	mode := smartstore.OffLine
 	if o.online {
 		mode = smartstore.OnLine
@@ -225,10 +275,10 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 		var err error
 		durability, err = smartstore.ParseDurability(o.fsync)
 		if err != nil {
-			return nil, "", err
+			return smartstore.Config{}, err
 		}
 	}
-	cfg := smartstore.Config{
+	return smartstore.Config{
 		Units:              o.units,
 		Shards:             o.shards,
 		Seed:               o.seed,
@@ -243,6 +293,17 @@ func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
 		SyncInterval:       o.fsyncInterval,
 		CheckpointBytes:    o.checkpointBytes,
 		WALSegmentBytes:    o.walSegmentBytes,
+	}, nil
+}
+
+// bootstrap builds the store: recovered from an initialized data dir,
+// restored from a snapshot file, or synthesized from a trace. With a
+// data dir, bootstrap sources initialize it (refusing one that already
+// holds a deployment) and recovery replays its WAL tails.
+func bootstrap(o bootstrapOpts) (*smartstore.Store, string, error) {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, "", err
 	}
 
 	if o.dataDir != "" && smartstore.DataDirInitialized(o.dataDir) {

@@ -427,9 +427,13 @@ func (s *Store) WALSizes() []int64 {
 // across shards.
 type WALStats struct {
 	// Segments counts live segment files; Bytes their total valid
-	// length.
-	Segments int
-	Bytes    int64
+	// length. DurableBytes is the fsync-covered prefix of that length —
+	// the durable watermark replication ships up to; Bytes -
+	// DurableBytes is data an acknowledged-only follower cannot see
+	// yet.
+	Segments     int
+	Bytes        int64
+	DurableBytes int64
 	// GroupCommits counts the fsync batches issued by the per-shard
 	// group committers (Durability Always); GroupedRecords the appends
 	// those batches acknowledged. Their ratio is the achieved batching
@@ -458,6 +462,7 @@ func (s *Store) WALStats() WALStats {
 		st := l.Stats()
 		out.Segments += st.Segments
 		out.Bytes += st.Bytes
+		out.DurableBytes += st.DurableBytes
 		out.GroupCommits += st.GroupCommits
 		out.GroupedRecords += st.GroupedRecords
 		out.Rotations += st.Rotations

@@ -511,6 +511,29 @@ func (c *Client) Stats() (*server.StatsResponse, error) {
 	return &out, nil
 }
 
+// ReplStatus reports the daemon's replication posture: whether it is
+// read-only, following a leader, caught up, or promoted. It answers on
+// every member — leaders report a non-following, writable store.
+func (c *Client) ReplStatus() (*server.ReplStatusWire, error) {
+	var out server.ReplStatusWire
+	if err := c.get("/v1/repl/status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Promote asks a follower to stop following, apply everything it has
+// fetched, and start accepting writes. Not idempotent at the transport
+// level (no retry): the caller decides whether to re-issue, and the
+// endpoint itself is idempotent server-side.
+func (c *Client) Promote(ctx context.Context) (*server.ReplStatusWire, error) {
+	var out server.ReplStatusWire
+	if err := c.postCtx(ctx, "/v1/repl/promote", struct{}{}, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics fetches the raw Prometheus text exposition from
 // /v1/metrics. Callers that want structured values feed the result to
 // obs.ParsePrometheus.

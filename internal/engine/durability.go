@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/metadata"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/wal"
@@ -39,6 +38,7 @@ func (e *Engine) SetShardEpochs(epochs []uint64) error {
 	for i, s := range e.shards {
 		s.epoch.Store(epochs[i])
 	}
+	e.setReplBase(epochs)
 	return nil
 }
 
@@ -116,42 +116,8 @@ func (e *Engine) Recover(tails [][]wal.Record, base []uint64) (int, error) {
 				if rec.BatchID != 0 && !complete[rec.BatchID] {
 					continue
 				}
-				switch rec.Op {
-				case wal.OpInsert:
-					files := make([]*metadata.File, len(rec.Files))
-					for j := range rec.Files {
-						files[j] = &rec.Files[j]
-					}
-					s.insertFilesLocked(files)
-					e.assignMu.Lock()
-					for _, f := range files {
-						e.assign[f.ID] = i
-						if f.ID > e.maxID {
-							e.maxID = f.ID
-						}
-					}
-					e.assignMu.Unlock()
-				case wal.OpDelete:
-					if _, found := s.deleteLocked(rec.ID); !found {
-						continue // replayed no-op delete: no epoch move
-					}
-					e.assignMu.Lock()
-					delete(e.assign, rec.ID)
-					if rec.ID == e.maxID {
-						e.recomputeMaxLocked()
-					}
-					e.assignMu.Unlock()
-				case wal.OpModify:
-					if _, found := s.modifyLocked(&rec.Files[0]); !found {
-						continue
-					}
-				case wal.OpFlush:
-					// Replay the propagation at the same point in the
-					// mutation order, so replica state and epoch evolve
-					// exactly as they did before the crash.
-					for _, c := range s.clusters {
-						c.PropagateAll()
-					}
+				if !e.applyRecordLocked(i, rec) {
+					continue // replayed no-op: no epoch move
 				}
 				applied[i]++
 				// The record's epoch is the shard epoch after the
@@ -231,6 +197,11 @@ func (e *Engine) Checkpoint(write func(*snapshot.Snapshot) error) error {
 		return err
 	}
 	e.observeCkptPhase(func(o *Obs) *obs.Histogram { return o.CkptPersistNs }, time.Since(persistStart))
+	// The snapshot is durable: its epochs become the replication base —
+	// a follower whose watermark predates them must re-bootstrap from
+	// this (or a later) snapshot, because the covering segments are
+	// about to be retired.
+	e.setReplBase(snap.ShardEpochs())
 
 	retireStart := time.Now()
 	defer func() {

@@ -134,6 +134,11 @@ type Engine struct {
 	// store facade after the serving layer builds its registry. Atomic
 	// so attachment never races an in-flight query.
 	obsv atomic.Pointer[Obs]
+
+	// replBase holds each shard's replication base: the epoch of the
+	// latest durable snapshot (repl.go). Atomic because followers probe
+	// it on every tail pull while checkpoints replace it.
+	replBase atomic.Pointer[[]uint64]
 }
 
 // seedFor derives shard i's deterministic cluster seed. Shard 0 keeps

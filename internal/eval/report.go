@@ -8,65 +8,66 @@ import (
 
 // LatencyStat summarizes one op kind's client-observed latency.
 type LatencyStat struct {
-	Count  int     `json:"count"`
-	Errors int     `json:"errors"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P95Ms  float64 `json:"p95_ms"`
-	P99Ms  float64 `json:"p99_ms"`
+	Count  int     `json:"count"`   // operations measured
+	Errors int     `json:"errors"`  // operations that failed
+	MeanMs float64 `json:"mean_ms"` // mean latency, milliseconds
+	P50Ms  float64 `json:"p50_ms"`  // median latency
+	P95Ms  float64 `json:"p95_ms"`  // 95th-percentile latency
+	P99Ms  float64 `json:"p99_ms"`  // 99th-percentile latency
 }
 
 // RecallStat summarizes recall over one query class, measured per
 // query against the single-union-store ground truth (§5.4.2:
 // |T(q) ∩ A(q)| / |T(q)|, empty truth = 1).
 type RecallStat struct {
-	Queries int     `json:"queries"`
-	Mean    float64 `json:"mean"`
-	Min     float64 `json:"min"`
+	Queries int     `json:"queries"` // queries scored
+	Mean    float64 `json:"mean"`    // mean per-query recall
+	Min     float64 `json:"min"`     // worst single-query recall
 }
 
 // Config tags a result with the deployment knobs it ran under — the
 // sweep axes of cmd/smarteval.
 type Config struct {
-	Endpoint      string `json:"endpoint"`
-	Shards        int    `json:"shards,omitempty"`
-	Fsync         string `json:"fsync,omitempty"`
-	Wire          string `json:"wire"`
-	OfflineBudget int    `json:"offline_budget,omitempty"`
-	Mode          string `json:"mode,omitempty"`
+	Endpoint      string `json:"endpoint"`                 // "inprocess" or the remote address
+	Shards        int    `json:"shards,omitempty"`         // engine shards of the store under test
+	Fsync         string `json:"fsync,omitempty"`          // WAL sync policy when durable
+	Wire          string `json:"wire"`                     // query codec: "json" or "binary"
+	OfflineBudget int    `json:"offline_budget,omitempty"` // §10 offline group budget (0 = adaptive)
+	Mode          string `json:"mode,omitempty"`           // query path: "online" or "offline"
 }
 
 // ScenarioResult is one scenario × config cell of EVAL_report.json.
 type ScenarioResult struct {
-	Scenario string `json:"scenario"`
-	Desc     string `json:"desc,omitempty"`
-	Trace    string `json:"trace"`
-	Tenants  int    `json:"tenants"`
-	Config   Config `json:"config"`
+	Scenario string `json:"scenario"`       // registry name of the scenario
+	Desc     string `json:"desc,omitempty"` // its one-line description
+	Trace    string `json:"trace"`          // paper trace backing the population
+	Tenants  int    `json:"tenants"`        // interleaved tenant streams
+	Config   Config `json:"config"`         // deployment knobs of this cell
 
-	Files   int    `json:"files"`
-	Ops     int    `json:"ops"`
-	Clients int    `json:"clients"`
-	Seed    uint64 `json:"seed"`
+	Files   int    `json:"files"`   // corpus size at replay start
+	Ops     int    `json:"ops"`     // operations replayed
+	Clients int    `json:"clients"` // concurrent query workers
+	Seed    uint64 `json:"seed"`    // op-stream seed
 
-	WallSec    float64 `json:"wall_sec"`
-	Throughput float64 `json:"throughput_ops_sec"`
-	Errors     int     `json:"errors"`
-	Mutations  int     `json:"mutations"`
-	Flushes    int     `json:"flushes"`
+	WallSec    float64 `json:"wall_sec"`           // replay wall time, seconds
+	Throughput float64 `json:"throughput_ops_sec"` // ops / wall second
+	Errors     int     `json:"errors"`             // failed operations, all kinds
+	Mutations  int     `json:"mutations"`          // inserts + deletes + modifies applied
+	Flushes    int     `json:"flushes"`            // round-boundary flushes issued
 
+	// PerOp breaks latency down by op kind ("point", "insert", ...).
 	PerOp map[string]*LatencyStat `json:"per_op"`
 
-	RangeRecall *RecallStat `json:"range_recall,omitempty"`
-	TopKRecall  *RecallStat `json:"topk_recall,omitempty"`
+	RangeRecall *RecallStat `json:"range_recall,omitempty"` // range recall vs exact truth
+	TopKRecall  *RecallStat `json:"topk_recall,omitempty"`  // top-k recall vs exact truth
 	// RangeSpurious counts answered range ids outside the exact truth.
 	// With the round-flush protocol it should be zero; nonzero values
 	// flag a staleness or correctness bug, not a recall artefact.
 	RangeSpurious int `json:"range_spurious"`
 
-	PointQueries int     `json:"point_queries"`
-	PointHits    int     `json:"point_hits"`
-	PointHitRate float64 `json:"point_hit_rate"`
+	PointQueries int     `json:"point_queries"`  // point lookups issued
+	PointHits    int     `json:"point_hits"`     // lookups the server answered correctly
+	PointHitRate float64 `json:"point_hit_rate"` // hits / queries (Fig. 9's metric)
 
 	// Mismatches counts mutation verdicts where the server and the
 	// mirror disagreed (e.g. a delete the server found but the truth

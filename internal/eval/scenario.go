@@ -16,10 +16,10 @@ import (
 // skews contend on the same deployment — the cross-layer workload
 // taxonomy the sweep covers.
 type Scenario struct {
-	Name    string
-	Desc    string
-	Trace   string
-	Tenants []trace.StreamSpec
+	Name    string             // registry key, e.g. "zipf-hot"
+	Desc    string             // one-line description for reports
+	Trace   string             // paper trace backing the population (HP/MSN/EECS)
+	Tenants []trace.StreamSpec // one op-stream spec per tenant, interleaved on replay
 }
 
 // Ops generates the scenario's deterministic operation sequence: n ops

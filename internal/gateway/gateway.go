@@ -29,6 +29,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
@@ -48,6 +49,13 @@ type Options struct {
 	// Backends is the static membership: one smartstored address
 	// ("host:port" or full URL) per backend.
 	Backends []string
+	// Followers optionally names a replication follower per backend,
+	// positionally (empty entries mean "no follower"; shorter than
+	// Backends is fine). When a member goes down and its follower
+	// reports itself caught up, the health loop promotes the follower
+	// and fails the member over to it — answers stay complete instead
+	// of degrading to partial. Fail-back is operator-managed.
+	Followers []string
 	// HealthEvery is the health-check cadence (0 → 2s).
 	HealthEvery time.Duration
 	// Timeout bounds each backend request attempt (0 → 10s).
@@ -101,21 +109,64 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// backend is one member of the federation.
+// backend is one member of the federation. Its identity (name, idx,
+// centroid, metric labels) is fixed at bootstrap; the clients behind
+// it can be swapped once by a failover, so every request path goes
+// through the client()/tclient() accessors rather than the fields.
 type backend struct {
 	idx  int
 	name string
-	// cl is the plain client; tcl is its trace-propagating copy, used
-	// when the inbound request carries the trace header.
-	cl  *client.Client
-	tcl *client.Client
+	// follower is the member's configured replication follower address
+	// ("" = none) — the failover target.
+	follower string
+
+	// clMu guards the swappable serving identity: cl is the plain
+	// client, tcl its trace-propagating copy, active the address they
+	// point at (name until a failover, follower after).
+	clMu   sync.RWMutex
+	cl     *client.Client
+	tcl    *client.Client
+	active string
+
 	// up flips with health checks and query-time transport failures; a
 	// down backend is skipped by fan-outs until a health check brings
-	// it back.
+	// it back (or fails it over).
 	up atomic.Bool
+	// failedOver latches once the member has been switched to its
+	// follower; there is no automatic fail-back.
+	failedOver atomic.Bool
 	// centroid is the backend's frozen placement centroid, normalized
 	// into the federation-wide bounds — the insert routing target.
 	centroid []float64
+}
+
+// client returns the member's current plain client.
+func (b *backend) client() *client.Client {
+	b.clMu.RLock()
+	defer b.clMu.RUnlock()
+	return b.cl
+}
+
+// tclient returns the member's current trace-propagating client.
+func (b *backend) tclient() *client.Client {
+	b.clMu.RLock()
+	defer b.clMu.RUnlock()
+	return b.tcl
+}
+
+// activeAddr returns the address currently serving this member.
+func (b *backend) activeAddr() string {
+	b.clMu.RLock()
+	defer b.clMu.RUnlock()
+	return b.active
+}
+
+// swapTo repoints the member at addr with the given client pair — the
+// failover commit.
+func (b *backend) swapTo(addr string, cl, tcl *client.Client) {
+	b.clMu.Lock()
+	b.cl, b.tcl, b.active = cl, tcl, addr
+	b.clMu.Unlock()
 }
 
 // Gateway federates N smartstored backends behind the single-store
@@ -147,6 +198,11 @@ type Gateway struct {
 	// Unknown ids fall back to a healthy fan-out.
 	idMu   sync.RWMutex
 	assign map[uint64]int
+
+	// clOpts is the client configuration every member client is built
+	// with — kept so a failover can build the follower's client
+	// identically.
+	clOpts client.Options
 
 	metrics *gatewayMetrics
 	build   version.BuildInfo
@@ -182,9 +238,16 @@ func New(opts Options) (*Gateway, error) {
 			}
 		},
 	}
+	g.clOpts = clOpts
+	if len(opts.Followers) > len(opts.Backends) {
+		return nil, fmt.Errorf("gateway: %d followers for %d backends", len(opts.Followers), len(opts.Backends))
+	}
 	for i, addr := range opts.Backends {
-		b := &backend{idx: i, name: addr, cl: client.NewWithOptions(addr, clOpts)}
+		b := &backend{idx: i, name: addr, active: addr, cl: client.NewWithOptions(addr, clOpts)}
 		b.tcl = b.cl.WithTrace()
+		if i < len(opts.Followers) {
+			b.follower = opts.Followers[i]
+		}
 		g.backends = append(g.backends, b)
 	}
 
@@ -194,7 +257,7 @@ func New(opts Options) (*Gateway, error) {
 	deadline := time.Now().Add(opts.BootstrapWait)
 	for i, b := range g.backends {
 		for {
-			st, err := b.cl.Stats()
+			st, err := b.client().Stats()
 			if err == nil {
 				if st.Placement == nil {
 					return nil, fmt.Errorf("gateway: backend %s reports no placement (not a smartstored?)", b.name)
@@ -346,20 +409,64 @@ func (g *Gateway) Run(ctx context.Context) {
 	}
 }
 
-// probeAll health-checks every backend concurrently.
+// probeAll health-checks every backend concurrently. A member that
+// fails its probe and has a configured follower is failed over: when
+// the follower reports itself caught up, the gateway promotes it and
+// repoints the member's clients at it, so fan-outs answer complete
+// through the follower instead of degrading to partial. The failover
+// latches — a leader coming back later does NOT win its slot back
+// automatically, because the promoted follower has accepted writes the
+// returned leader never saw; fail-back is an operator action
+// (DESIGN.md §11).
 func (g *Gateway) probeAll() {
 	var wg sync.WaitGroup
 	for _, b := range g.backends {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
-			h := b.cl.Healthy()
+			h := b.client().Healthy()
+			if !h && b.follower != "" && !b.failedOver.Load() {
+				h = g.maybeFailover(b)
+			}
 			if b.up.Swap(h) != h && g.metrics != nil {
 				g.metrics.healthTransitions.Inc()
 			}
 		}(b)
 	}
 	wg.Wait()
+}
+
+// maybeFailover tries to fail member b over to its follower, reporting
+// whether the member is now serving (through the follower). The
+// follower must answer health checks and report itself caught up (or
+// already promoted — a previous attempt's promotion may have landed
+// without the swap); a behind follower is left alone and the member
+// stays degraded — failing over to it would silently drop acknowledged
+// writes, which is worse than a partial answer that says so.
+func (g *Gateway) maybeFailover(b *backend) bool {
+	fcl := client.NewWithOptions(b.follower, g.clOpts)
+	st, err := fcl.ReplStatus()
+	if err != nil {
+		log.Printf("smartgate: backend %s down, follower %s unreachable: %v", b.name, b.follower, err)
+		return false
+	}
+	if !st.CaughtUp && !st.Promoted {
+		log.Printf("smartgate: backend %s down, follower %s not caught up — staying degraded", b.name, b.follower)
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.Timeout)
+	defer cancel()
+	if _, err := fcl.Promote(ctx); err != nil {
+		log.Printf("smartgate: backend %s down, promoting follower %s failed: %v", b.name, b.follower, err)
+		return false
+	}
+	b.swapTo(b.follower, fcl, fcl.WithTrace())
+	b.failedOver.Store(true)
+	if g.metrics != nil {
+		g.metrics.failovers.Inc()
+	}
+	log.Printf("smartgate: backend %s failed over to follower %s (promoted)", b.name, b.follower)
+	return true
 }
 
 // offlineMaxBackends caps an off-line top-k fan-out, mirroring the

@@ -42,6 +42,7 @@ func (g *Gateway) routes() {
 	})
 }
 
+// ServeHTTP makes the gateway an http.Handler over its §5 mux.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
 
 // errBusy is returned by admission when the wait queue is full.
@@ -395,7 +396,7 @@ func (g *Gateway) handleInsert(w http.ResponseWriter, r *http.Request) error {
 		wg.Add(1)
 		go func(b *backend, recs []server.FileRecord) {
 			defer wg.Done()
-			resp, err := b.cl.InsertRecords(r.Context(), recs)
+			resp, err := b.client().InsertRecords(r.Context(), recs)
 			if err == nil {
 				// Learn placements as soon as they are durable on the
 				// backend — even if a sibling group fails, these landed.
@@ -549,7 +550,7 @@ func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return badRequestf("delete: missing id")
 	}
 	resp, err := g.mutate(r.Context(), req.ID, func(ctx context.Context, b *backend) (*server.MutateResponse, bool, error) {
-		mr, err := b.cl.DeleteCtx(ctx, req.ID)
+		mr, err := b.client().DeleteCtx(ctx, req.ID)
 		if err != nil {
 			return nil, false, err
 		}
@@ -576,7 +577,7 @@ func (g *Gateway) handleModify(w http.ResponseWriter, r *http.Request) error {
 	// The wire record forwards as-is: the owning backend applies the
 	// partial-attribute merge against its stored vector.
 	resp, err := g.mutate(r.Context(), req.File.ID, func(ctx context.Context, b *backend) (*server.MutateResponse, bool, error) {
-		mr, err := b.cl.ModifyRecord(ctx, req.File)
+		mr, err := b.client().ModifyRecord(ctx, req.File)
 		if err != nil {
 			return nil, false, err
 		}
@@ -601,7 +602,7 @@ func (g *Gateway) handleFlush(w http.ResponseWriter, r *http.Request) error {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			resps[i], errs[i] = b.cl.FlushCtx(r.Context())
+			resps[i], errs[i] = b.client().FlushCtx(r.Context())
 		}(i, b)
 	}
 	wg.Wait()
@@ -633,7 +634,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) error {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			st, err := b.cl.Stats()
+			st, err := b.client().Stats()
 			if err != nil {
 				g.markDown(b)
 				return
@@ -661,7 +662,12 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) error {
 		},
 	}
 	for i, b := range g.backends {
-		row := server.BackendWire{Backend: b.name, Healthy: stats[i] != nil}
+		row := server.BackendWire{
+			Backend:    b.name,
+			Healthy:    stats[i] != nil,
+			Active:     b.activeAddr(),
+			FailedOver: b.failedOver.Load(),
+		}
 		if st := stats[i]; st != nil {
 			row.Files = st.Store.Files
 			row.Epoch = st.Store.Epoch

@@ -35,6 +35,7 @@ type gatewayMetrics struct {
 	clientRetries     obs.Counter
 	duplicateIDs      obs.Counter
 	healthTransitions obs.Counter
+	failovers         obs.Counter
 	admissionWait     obs.Histogram
 	scrapes           obs.Counter
 }
@@ -82,6 +83,8 @@ func newGatewayMetrics(g *Gateway, backendNames []string) *gatewayMetrics {
 		"Ids claimed by more than one backend in a union merge (overlapping id spaces).", &m.duplicateIDs)
 	m.reg.RegisterCounter("smartgate_health_transitions_total", "",
 		"Backend up/down state flips (health probes and query-time failures).", &m.healthTransitions)
+	m.reg.RegisterCounter("smartgate_failovers_total", "",
+		"Members failed over to their promoted follower.", &m.failovers)
 	m.reg.RegisterHistogram("smartgate_admission_wait_seconds", "",
 		"Time admitted requests spent waiting for a worker slot.",
 		obs.ScaleNanos, &m.admissionWait)
@@ -113,6 +116,15 @@ func (g *Gateway) registerBackendGauges() {
 			"Whether the backend currently passes health checks (1) or is skipped (0).",
 			func() float64 {
 				if b.up.Load() {
+					return 1
+				}
+				return 0
+			})
+		g.metrics.reg.RegisterGaugeFunc("smartgate_backend_failed_over",
+			obs.Labels("backend", b.name),
+			"Whether the member is being served by its promoted follower (1) instead of its original leader (0).",
+			func() float64 {
+				if b.failedOver.Load() {
 					return 1
 				}
 				return 0

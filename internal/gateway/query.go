@@ -73,9 +73,9 @@ func (g *Gateway) execQuery(ctx context.Context, q smartstore.Query, traced bool
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			cl := b.cl
+			cl := b.client()
 			if traced {
-				cl = b.tcl
+				cl = b.tclient()
 			}
 			start := time.Now()
 			resp, err := cl.Query(ctx, fq)

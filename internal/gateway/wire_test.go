@@ -134,7 +134,7 @@ func TestGatewayCodecEquivalence(t *testing.T) {
 	// The gateway's backend clients negotiate the binary codec on
 	// their own — the fan-out above must have latched it.
 	for i, b := range fed.gw.backends {
-		if !b.cl.BinaryNegotiated() {
+		if !b.client().BinaryNegotiated() {
 			t.Fatalf("backend %d fan-out still on JSON", i)
 		}
 	}

@@ -1,0 +1,28 @@
+package merge_test
+
+import (
+	"fmt"
+
+	"repro/internal/merge"
+)
+
+// Two partitions each answer a top-3 query with their local nearest
+// candidates; TopK folds them into the global top-3 under the
+// (distance, id) total order, and Union folds the partitions' range
+// answers while flagging a duplicated id.
+func Example() {
+	shard0 := []merge.Cand{{ID: 4, Dist: 0.10}, {ID: 9, Dist: 0.35}, {ID: 1, Dist: 0.90}}
+	shard1 := []merge.Cand{{ID: 7, Dist: 0.20}, {ID: 2, Dist: 0.35}, {ID: 5, Dist: 0.50}}
+
+	for _, c := range merge.TopK([][]merge.Cand{shard0, shard1}, 3) {
+		fmt.Printf("id=%d dist=%.2f\n", c.ID, c.Dist)
+	}
+
+	ids, dups := merge.Union([][]uint64{{4, 9, 1}, {7, 2, 4}})
+	fmt.Println(ids, dups)
+	// Output:
+	// id=4 dist=0.10
+	// id=7 dist=0.20
+	// id=2 dist=0.35
+	// [4 9 1 7 2] 1
+}

@@ -23,8 +23,8 @@ import (
 // Cand is one top-k candidate: a file id with its true normalized
 // squared distance to the query point.
 type Cand struct {
-	ID   uint64
-	Dist float64
+	ID   uint64  // file id
+	Dist float64 // normalized squared distance to the query point
 }
 
 // Less is the (distance, id) ascending total order every top-k answer

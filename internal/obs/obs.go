@@ -113,9 +113,9 @@ func (h *Histogram) Observe(v uint64) {
 // straddle it — but every bucket is individually consistent and the
 // drift is bounded by the records in flight during the read.
 type HistSnapshot struct {
-	Counts [HistBuckets]uint64
-	Count  uint64
-	Sum    uint64
+	Counts [HistBuckets]uint64 // per-bucket observation counts
+	Count  uint64              // total observations
+	Sum    uint64              // sum of observed values
 }
 
 // Snapshot copies the histogram's current state.

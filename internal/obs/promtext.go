@@ -20,18 +20,18 @@ import (
 // Sample is one parsed sample line. For histograms the Name keeps its
 // _bucket/_sum/_count suffix and bucket samples carry their "le" label.
 type Sample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name   string            // full sample name, suffixes included (_bucket, _sum, ...)
+	Labels map[string]string // label set, nil when unlabelled
+	Value  float64           // parsed sample value
 }
 
 // Family is one parsed metric family: its TYPE/HELP metadata and every
 // sample attributed to it.
 type Family struct {
-	Name    string
-	Help    string
-	Type    string
-	Samples []Sample
+	Name    string   // family name from the # TYPE line
+	Help    string   // # HELP text, possibly empty
+	Type    string   // "counter", "gauge" or "histogram"
+	Samples []Sample // every sample line of the family, in order
 }
 
 // ParsePrometheus parses text exposition format and validates what it

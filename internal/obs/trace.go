@@ -29,15 +29,15 @@ type QueryTrace struct {
 
 // TracePhase is one named serving phase and its wall time.
 type TracePhase struct {
-	Name string
-	Dur  time.Duration
+	Name string        // phase name (admission_wait, decode, ...)
+	Dur  time.Duration // phase wall time
 }
 
 // TraceShard is one shard's contribution to the execute phase.
 type TraceShard struct {
-	Shard  int
-	Dur    time.Duration
-	Pruned bool
+	Shard  int           // shard index
+	Dur    time.Duration // shard execution wall time
+	Pruned bool          // rejected by root MBR/Bloom, not executed
 }
 
 // AddPhase appends a phase timing. Safe on a nil trace.

@@ -24,6 +24,7 @@ const TraceHeader = "X-Smartstore-Trace"
 var endpointNames = []string{
 	"query", "point", "range", "topk",
 	"insert", "delete", "modify", "flush", "stats",
+	"repl_snapshot", "repl_wal", "repl_status", "repl_promote",
 }
 
 // queryKinds labels the per-kind query duration family. "batch" covers

@@ -57,6 +57,12 @@ type Options struct {
 	// wall time (admission wait included) exceeds it, with its full
 	// phase breakdown.
 	SlowQuery time.Duration
+	// ReadOnly starts the server with mutations rejected (503) — the
+	// serving posture of a replication follower. Promotion lifts it.
+	ReadOnly bool
+	// Repl is the follower-side replication controller (status +
+	// promotion); nil on a store that is not following a leader.
+	Repl ReplController
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,10 @@ type Server struct {
 	// (metrics.go); nil when Options.DisableMetrics is set.
 	metrics *serverMetrics
 	build   version.BuildInfo
+
+	// readOnly rejects mutations while the store follows a leader;
+	// promotion clears it (repl.go).
+	readOnly atomic.Bool
 }
 
 // New builds a Server over store. Fresh ids for inserts without one are
@@ -133,9 +143,14 @@ func New(store *smartstore.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/modify", s.admitted("modify", s.handleModify))
 	s.mux.HandleFunc("POST /v1/flush", s.admitted("flush", s.handleFlush))
 	s.mux.HandleFunc("GET /v1/stats", s.admitted("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.admitted("repl_snapshot", s.handleReplSnapshot))
+	s.mux.HandleFunc("GET /v1/repl/wal", s.admitted("repl_wal", s.handleReplWAL))
+	s.mux.HandleFunc("GET /v1/repl/status", s.admitted("repl_status", s.handleReplStatus))
+	s.mux.HandleFunc("POST /v1/repl/promote", s.admitted("repl_promote", s.handleReplPromote))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	s.readOnly.Store(opts.ReadOnly)
 	return s
 }
 
@@ -202,6 +217,10 @@ func (s *Server) admitted(endpoint string, h func(w http.ResponseWriter, r *http
 			switch {
 			case errors.As(err, &bad):
 				writeError(w, http.StatusBadRequest, err)
+			case errors.Is(err, errReadOnly):
+				// A follower rejecting a mutation: retryable against
+				// this address once it is promoted.
+				writeError(w, http.StatusServiceUnavailable, err)
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 				// Client went away mid-query.
 				writeError(w, 499, err)
@@ -477,6 +496,9 @@ func (s *Server) serveShim(w http.ResponseWriter, r *http.Request, wq WireQuery)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	var req InsertRequest
 	if err := decode(r, &req); err != nil {
 		return err
@@ -519,6 +541,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	var req DeleteRequest
 	if err := decode(r, &req); err != nil {
 		return err
@@ -541,6 +566,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	var req ModifyRequest
 	if err := decode(r, &req); err != nil {
 		return err
@@ -579,6 +607,9 @@ func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if err := s.store.Flush(); err != nil {
 		return err
 	}

@@ -177,6 +177,7 @@ type ServerStats struct {
 type WALStats struct {
 	Segments               int    `json:"segments"`
 	Bytes                  int64  `json:"bytes"`
+	DurableBytes           int64  `json:"durable_bytes"`
 	GroupCommits           uint64 `json:"group_commits"`
 	GroupedRecords         uint64 `json:"grouped_records"`
 	Rotations              uint64 `json:"rotations"`
@@ -203,6 +204,11 @@ type BackendWire struct {
 	Healthy bool   `json:"healthy"`
 	Files   int    `json:"files"`
 	Epoch   uint64 `json:"epoch"`
+	// Active is the address currently serving this member — the
+	// follower's after a failover, Backend's otherwise. FailedOver
+	// reports that the member has been switched to its follower.
+	Active     string `json:"active,omitempty"`
+	FailedOver bool   `json:"failed_over,omitempty"`
 }
 
 // GatewayWire is the gateway's own stats section: the static

@@ -51,6 +51,8 @@ func (k OpKind) String() string {
 // need not sum to 1); a zero-value Mix defaults to the read-mostly serve
 // mix (2 point : 3 range : 4 top-k : 1 batch-ish top-k).
 type Mix struct {
+	// Relative weight of each op kind; only ratios matter, and an
+	// all-zero mix selects the read-mostly default (2/3/5 queries).
 	Point, Range, TopK, Insert, Delete, Modify float64
 }
 
@@ -92,9 +94,9 @@ type StreamSpec struct {
 	// OpGap seconds apart; with BurstLen > 0 they instead arrive in
 	// back-to-back bursts of BurstLen separated by BurstGap seconds —
 	// the bursty temporal locality knob.
-	OpGap    float64
-	BurstLen int
-	BurstGap float64
+	OpGap    float64 // seconds between consecutive ops (0 = dense)
+	BurstLen int     // ops per burst (0 = no bursting)
+	BurstGap float64 // seconds between burst starts
 }
 
 func (s StreamSpec) withDefaults() StreamSpec {
@@ -120,12 +122,12 @@ func (s StreamSpec) withDefaults() StreamSpec {
 // Modify carry the target id (Modify also carries the replacement
 // attribute vector in File).
 type Op struct {
-	Kind  OpKind
-	Point query.Point
-	Range query.Range
-	TopK  query.TopK
-	File  *metadata.File
-	ID    uint64
+	Kind  OpKind         // which of the union's arms is populated
+	Point query.Point    // OpPoint: the filename lookup
+	Range query.Range    // OpRange: the multi-dimensional window
+	TopK  query.TopK     // OpTopK: the anchor + k
+	File  *metadata.File // OpInsert/OpModify: the record to write
+	ID    uint64         // OpDelete/OpModify: the target file id
 	// At is the op's arrival offset in seconds from stream start under
 	// the spec's arrival shaping (0 for dense streams).
 	At float64

@@ -30,7 +30,7 @@ import (
 // Spec describes one of the paper's source traces: its published
 // statistics plus the generator parameters tuned to reproduce them.
 type Spec struct {
-	Name string
+	Name string // trace name: "HP", "MSN" or "EECS"
 	// Published original statistics (Tables 1–3), in the units the
 	// paper reports.
 	Stats []Stat
@@ -58,10 +58,10 @@ type Spec struct {
 // Stat is a single row of a trace-characteristics table: original value
 // and its TIF-scaled counterpart.
 type Stat struct {
-	Label    string
-	Original float64
-	Scaled   float64
-	Unit     string
+	Label    string  // what the row measures, as the paper names it
+	Original float64 // published value
+	Scaled   float64 // value after TIF scale-up
+	Unit     string  // reporting unit ("M", "GB", ...)
 }
 
 // HP returns the HP trace spec (Table 1: 94.7M requests, 32 active
@@ -161,10 +161,10 @@ func ByName(name string) (*Spec, error) {
 // Set is a generated workload: the sampled file population with fully
 // populated attributes, plus the normalizer fitted over it.
 type Set struct {
-	Spec  *Spec
-	TIF   int
-	Files []*metadata.File
-	Norm  *metadata.Normalizer
+	Spec  *Spec                // the trace this set was synthesized from
+	TIF   int                  // trace-intensifying factor applied
+	Files []*metadata.File     // the sampled population
+	Norm  *metadata.Normalizer // normalizer fitted to the population
 }
 
 // Generate samples nFiles files from the spec's distributions and

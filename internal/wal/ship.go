@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Segment shipping: the replication read path. A follower pulls a
+// shard's log as batches of records past an epoch watermark
+// (TailSince), shipped over the wire in the same length-prefixed
+// CRC-32C framing the segments themselves use (EncodeTail/DecodeTail),
+// so a torn or truncated ship — a leader killed mid-response — is
+// detected by the follower exactly the way recovery detects a torn
+// segment tail, and the pull is simply retried.
+//
+// The watermark is the record epoch, not a byte offset: epochs are
+// stamped under the shard write lock and are non-decreasing in log
+// order, so "every record with Epoch > after" is a well-defined,
+// idempotent resume point that survives leader checkpoints (which
+// rewrite the byte layout but preserve the epoch ordering). The one
+// subtlety is that non-effectual records (a delete of an absent id)
+// share the epoch stamp of the next effectual record; TailSince
+// therefore never cuts a response inside an equal-epoch run — a cut
+// there would strand the run's tail behind an already-advanced
+// watermark.
+
+// ShipLimitBytes is the default per-response byte budget for TailSince:
+// large catch-ups stream as multiple pulls instead of one unbounded
+// response.
+const ShipLimitBytes = 1 << 20
+
+// maxShipBytes bounds a shipped tail's declared payload length so a
+// corrupt or hostile header cannot drive an arbitrary allocation on the
+// follower.
+const maxShipBytes = 256 << 20
+
+// TailSince returns the log's records with Epoch > after, in log
+// order, up to roughly maxBytes of encoded payload (0 selects
+// ShipLimitBytes). caughtUp reports whether the scan reached the
+// durable end of the log — false means the caller should pull again
+// immediately with the advanced watermark. Under SyncAlways only the
+// durable (acked) prefix of the active segment ships: a follower must
+// never hold a record the leader could roll back after a failed group
+// fsync. Under the other policies every appended byte is already
+// acknowledged and ships.
+//
+// The byte budget is soft at equal-epoch boundaries: once exceeded,
+// records keep shipping until the epoch strictly increases, so a
+// response never ends inside an equal-epoch run (see the package note
+// above).
+func (l *Log) TailSince(after uint64, maxBytes int64) (recs []Record, caughtUp bool, err error) {
+	if maxBytes <= 0 {
+		maxBytes = ShipLimitBytes
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, false, l.err
+	}
+	if l.closed {
+		return nil, false, errClosed
+	}
+
+	var bytes int64
+	lastEpoch := uint64(0)
+	emit := func(rec Record, size int64) bool {
+		if rec.Epoch <= after {
+			return true
+		}
+		if bytes >= maxBytes && len(recs) > 0 && rec.Epoch > lastEpoch {
+			return false // budget spent and the equal-epoch run has ended
+		}
+		recs = append(recs, rec)
+		lastEpoch = rec.Epoch
+		bytes += size
+		return true
+	}
+
+	for _, s := range l.sealed {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: ship open %s: %w", s.path, err)
+		}
+		done := walkFrames(f, int64(segHeaderSize), s.size, emit)
+		f.Close()
+		if !done {
+			return recs, false, nil
+		}
+	}
+
+	end := l.active.size
+	if l.policy == SyncAlways {
+		end = l.active.acked
+	}
+	if !walkFrames(l.active.f, int64(segHeaderSize), end, emit) {
+		return recs, false, nil
+	}
+	return recs, true, nil
+}
+
+// walkFrames scans frames from start to end, invoking fn with each
+// decoded record and its encoded frame size. It returns false when fn
+// stopped the walk; damage or reaching end returns true (the walk
+// completed as far as the valid prefix goes — damage past the durable
+// watermark is an ordinary unacknowledged tail).
+func walkFrames(r io.ReaderAt, start, end int64, fn func(Record, int64) bool) bool {
+	off := start
+	fh := make([]byte, frameHeaderSize)
+	for {
+		if off+frameHeaderSize > end {
+			return true
+		}
+		if _, err := r.ReadAt(fh, off); err != nil {
+			return true
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxRecordSize || off+frameHeaderSize+int64(n) > end {
+			return true
+		}
+		payload := make([]byte, n)
+		if _, err := r.ReadAt(payload, off+frameHeaderSize); err != nil {
+			return true
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return true
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return true
+		}
+		if !fn(rec, frameHeaderSize+int64(n)) {
+			return false
+		}
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+// TailResponse is one shipped batch of a shard's log tail.
+type TailResponse struct {
+	// Shard is the owning engine shard — echoed so a follower can
+	// detect a misrouted response.
+	Shard int
+	// After echoes the request watermark.
+	After uint64
+	// Base is the leader's replication base for the shard: the epoch of
+	// its latest durable checkpoint. A request with after < Base cannot
+	// be served from the log (the covering segments were truncated) and
+	// carries SnapshotRequired instead of records.
+	Base uint64
+	// SnapshotRequired tells the follower to re-bootstrap from a fresh
+	// snapshot: the leader checkpointed past the follower's watermark.
+	SnapshotRequired bool
+	// CaughtUp reports that Records reach the durable end of the
+	// leader's log; false means pull again immediately.
+	CaughtUp bool
+	// Records are the shipped records, in log order, all with
+	// Epoch > After.
+	Records []Record
+}
+
+// shipMagic opens every shipped tail. The trailing byte is the ship
+// format version.
+const shipMagic = "SSRPL\x01"
+
+const (
+	shipFlagSnapshotRequired = 1 << 0
+	shipFlagCaughtUp         = 1 << 1
+)
+
+// shipHeaderSize is the fixed shipped-tail header: magic (6) + flags
+// (1) + shard (u32) + after (u64) + base (u64) + record count (u32) +
+// framed byte length (u32).
+const shipHeaderSize = len(shipMagic) + 1 + 4 + 8 + 8 + 4 + 4
+
+// EncodeTail writes resp to w: a fixed header followed by the records
+// as the same length-prefixed CRC-32C frames the segments use. The
+// declared record count and byte length let DecodeTail reject a
+// truncated ship (a leader killed mid-response) instead of silently
+// applying a prefix.
+func EncodeTail(w io.Writer, resp *TailResponse) error {
+	var frames []byte
+	for i := range resp.Records {
+		payload, err := encodePayload(&resp.Records[i])
+		if err != nil {
+			return fmt.Errorf("wal: encode shipped record: %w", err)
+		}
+		var fh [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(fh[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(fh[4:8], crc32.Checksum(payload, castagnoli))
+		frames = append(frames, fh[:]...)
+		frames = append(frames, payload...)
+	}
+	hdr := make([]byte, shipHeaderSize)
+	off := copy(hdr, shipMagic)
+	var flags byte
+	if resp.SnapshotRequired {
+		flags |= shipFlagSnapshotRequired
+	}
+	if resp.CaughtUp {
+		flags |= shipFlagCaughtUp
+	}
+	hdr[off] = flags
+	off++
+	binary.LittleEndian.PutUint32(hdr[off:], uint32(resp.Shard))
+	off += 4
+	binary.LittleEndian.PutUint64(hdr[off:], resp.After)
+	off += 8
+	binary.LittleEndian.PutUint64(hdr[off:], resp.Base)
+	off += 8
+	binary.LittleEndian.PutUint32(hdr[off:], uint32(len(resp.Records)))
+	off += 4
+	binary.LittleEndian.PutUint32(hdr[off:], uint32(len(frames)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(frames)
+	return err
+}
+
+// DecodeTail reads one shipped tail from r, validating the magic, the
+// declared framed length, and every frame's CRC. A short read, a
+// damaged frame, or a record count that disagrees with the header is an
+// error — the follower discards the whole response and retries the
+// pull, exactly as recovery discards a torn segment tail.
+func DecodeTail(r io.Reader) (*TailResponse, error) {
+	hdr := make([]byte, shipHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("wal: shipped tail header: %w", err)
+	}
+	if string(hdr[:len(shipMagic)]) != shipMagic {
+		return nil, fmt.Errorf("wal: shipped tail: bad magic")
+	}
+	off := len(shipMagic)
+	flags := hdr[off]
+	off++
+	resp := &TailResponse{
+		Shard:            int(binary.LittleEndian.Uint32(hdr[off:])),
+		SnapshotRequired: flags&shipFlagSnapshotRequired != 0,
+		CaughtUp:         flags&shipFlagCaughtUp != 0,
+	}
+	off += 4
+	resp.After = binary.LittleEndian.Uint64(hdr[off:])
+	off += 8
+	resp.Base = binary.LittleEndian.Uint64(hdr[off:])
+	off += 8
+	count := binary.LittleEndian.Uint32(hdr[off:])
+	off += 4
+	byteLen := binary.LittleEndian.Uint32(hdr[off:])
+	if byteLen > maxShipBytes {
+		return nil, fmt.Errorf("wal: shipped tail declares %d bytes (limit %d)", byteLen, maxShipBytes)
+	}
+	buf := make([]byte, byteLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wal: shipped tail truncated: %w", err)
+	}
+	recs, valid := scanFrames(byteReaderAt(buf), 0, int64(len(buf)))
+	if valid != int64(len(buf)) || uint32(len(recs)) != count {
+		return nil, fmt.Errorf("wal: shipped tail damaged: %d/%d records valid over %d/%d bytes",
+			len(recs), count, valid, len(buf))
+	}
+	resp.Records = recs
+	return resp, nil
+}
+
+// byteReaderAt adapts a byte slice to io.ReaderAt for scanFrames.
+type byteReaderAt []byte
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off >= int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}

@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// shipRec builds a minimal delete record with a chosen epoch stamp —
+// the shipping layer only cares about epochs and framing, not op
+// semantics.
+func shipRec(epoch, id uint64) Record {
+	return Record{Op: OpDelete, Epoch: epoch, ID: id}
+}
+
+func epochs(recs []Record) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Epoch
+	}
+	return out
+}
+
+func TestTailSinceWatermark(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shard-0000.wal")
+	// Tiny segment capacity forces rotation mid-history so the tail
+	// spans sealed segments plus the active one.
+	l, _, err := Open(dir, 0, SyncNever, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := uint64(1); e <= 20; e++ {
+		if err := l.Append(&Record{Op: OpDelete, Epoch: e, ID: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, caughtUp, err := l.TailSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caughtUp || len(recs) != 20 {
+		t.Fatalf("TailSince(0) = %d records, caughtUp=%v; want 20, true", len(recs), caughtUp)
+	}
+	for i, r := range recs {
+		if r.Epoch != uint64(i+1) {
+			t.Fatalf("record %d has epoch %d, want %d", i, r.Epoch, i+1)
+		}
+	}
+
+	recs, caughtUp, err = l.TailSince(13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caughtUp || len(recs) != 7 || recs[0].Epoch != 14 {
+		t.Fatalf("TailSince(13) = epochs %v, caughtUp=%v; want 14..20, true", epochs(recs), caughtUp)
+	}
+
+	recs, caughtUp, err = l.TailSince(20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caughtUp || len(recs) != 0 {
+		t.Fatalf("TailSince(20) = %d records, caughtUp=%v; want 0, true", len(recs), caughtUp)
+	}
+}
+
+func TestTailSinceBudgetResumes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shard-0000.wal")
+	l, _, err := Open(dir, 0, SyncNever, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 50
+	for e := uint64(1); e <= n; e++ {
+		if err := l.Append(&Record{Op: OpDelete, Epoch: e, ID: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pull with a budget far below the full tail: each response must be
+	// a non-empty prefix, caughtUp=false until the watermark reaches the
+	// end, and the concatenation must be exactly 1..n.
+	var got []uint64
+	after := uint64(0)
+	pulls := 0
+	for {
+		recs, caughtUp, err := l.TailSince(after, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 && !caughtUp {
+			t.Fatal("empty response without caughtUp would stall the follower")
+		}
+		got = append(got, epochs(recs)...)
+		if len(recs) > 0 {
+			after = recs[len(recs)-1].Epoch
+		}
+		pulls++
+		if caughtUp {
+			break
+		}
+		if pulls > n+1 {
+			t.Fatal("budgeted pulls did not converge")
+		}
+	}
+	if pulls < 2 {
+		t.Fatalf("budget of 32 bytes served %d records in one pull — budget not enforced", n)
+	}
+	if len(got) != n {
+		t.Fatalf("resumed pulls yielded %d records, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e != uint64(i+1) {
+			t.Fatalf("resumed stream out of order at %d: %v", i, got)
+		}
+	}
+}
+
+// TestTailSinceEqualEpochRun asserts the correctness rule the epoch
+// watermark depends on: a response never ends inside an equal-epoch
+// run. Non-effectual records share the NEXT effectual record's stamp,
+// so cutting between two equal-epoch records would strand the run's
+// tail behind an already-advanced watermark.
+func TestTailSinceEqualEpochRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shard-0000.wal")
+	l, _, err := Open(dir, 0, SyncNever, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Epoch layout: 1, then a long run of 7s (no-ops stamped with the
+	// next effectual epoch), then 8.
+	stamps := []uint64{1, 7, 7, 7, 7, 7, 7, 7, 7, 8}
+	for i, e := range stamps {
+		if err := l.Append(&Record{Op: OpDelete, Epoch: e, ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A 1-byte budget is exceeded by the very first record; the
+	// response must still carry the entire run of 7s, cutting only at
+	// the epoch increase (before the epoch-8 record).
+	recs, caughtUp, err := l.TailSince(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 || caughtUp {
+		t.Fatalf("budgeted response cut inside an equal-epoch run: epochs %v, caughtUp=%v", epochs(recs), caughtUp)
+	}
+	for i := 0; i < 8; i++ {
+		if recs[i].Epoch != 7 {
+			t.Fatalf("expected run of epoch-7 records, got %v", epochs(recs))
+		}
+	}
+	// Resuming from the run's shared stamp picks up the epoch-8 record.
+	recs, caughtUp, err = l.TailSince(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 8 || !caughtUp {
+		t.Fatalf("resume after run = epochs %v, caughtUp=%v; want [8], true", epochs(recs), caughtUp)
+	}
+}
+
+// TestTailSinceSyncAlwaysDurableOnly asserts that under SyncAlways only
+// the fsync-covered prefix of the active segment ships: a follower must
+// never hold a record the leader could roll back.
+func TestTailSinceSyncAlwaysDurableOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shard-0000.wal")
+	l, _, err := Open(dir, 0, SyncAlways, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := uint64(1); e <= 5; e++ {
+		if err := l.Append(&Record{Op: OpDelete, Epoch: e, ID: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Append acked all five (group commit fsyncs before returning), so
+	// the durable watermark covers them.
+	recs, caughtUp, err := l.TailSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caughtUp || len(recs) != 5 {
+		t.Fatalf("durable tail = %d records, caughtUp=%v; want 5, true", len(recs), caughtUp)
+	}
+	st := l.Stats()
+	if st.DurableBytes != st.Bytes {
+		t.Fatalf("after acked appends DurableBytes=%d != Bytes=%d", st.DurableBytes, st.Bytes)
+	}
+}
+
+func TestEncodeDecodeTailRoundTrip(t *testing.T) {
+	resp := &TailResponse{
+		Shard:    3,
+		After:    11,
+		Base:     4,
+		CaughtUp: true,
+		Records: []Record{
+			shipRec(12, 100),
+			shipRec(13, 101),
+			{Op: OpInsert, Epoch: 14, BatchID: 9, Targets: []int{1, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTail(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTail(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 3 || back.After != 11 || back.Base != 4 || !back.CaughtUp || back.SnapshotRequired {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if len(back.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(back.Records))
+	}
+	for i := range resp.Records {
+		if !recordsEqual(resp.Records[i], back.Records[i]) {
+			t.Fatalf("record %d mismatch:\n in %+v\nout %+v", i, resp.Records[i], back.Records[i])
+		}
+	}
+
+	// The empty SnapshotRequired response round-trips too.
+	snap := &TailResponse{Shard: 0, After: 2, Base: 9, SnapshotRequired: true}
+	buf.Reset()
+	if err := EncodeTail(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err = DecodeTail(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SnapshotRequired || back.CaughtUp || len(back.Records) != 0 || back.Base != 9 {
+		t.Fatalf("snapshot-required round trip: %+v", back)
+	}
+}
+
+// TestDecodeTailRejectsTorn asserts a truncated or bit-flipped ship is
+// rejected whole — the follower retries the pull rather than applying a
+// silent prefix.
+func TestDecodeTailRejectsTorn(t *testing.T) {
+	resp := &TailResponse{
+		Shard:   1,
+		Records: []Record{shipRec(5, 1), shipRec(6, 2), shipRec(7, 3)},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTail(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Every possible truncation point fails, including mid-header.
+	for cut := 0; cut < len(whole); cut++ {
+		if _, err := DecodeTail(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("accepted ship truncated to %d/%d bytes", cut, len(whole))
+		}
+	}
+
+	// A flipped payload byte breaks that frame's CRC.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := DecodeTail(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted ship with corrupt final frame")
+	}
+
+	// A bad magic is rejected before any allocation.
+	corrupt = append([]byte(nil), whole...)
+	corrupt[0] = 'X'
+	if _, err := DecodeTail(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted ship with bad magic")
+	}
+
+	// A record count that disagrees with the frames is rejected even
+	// when every frame is intact.
+	corrupt = append([]byte(nil), whole...)
+	countOff := len(shipMagic) + 1 + 4 + 8 + 8
+	corrupt[countOff]++
+	if _, err := DecodeTail(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted ship whose count disagrees with its frames")
+	}
+}

@@ -147,6 +147,11 @@ type Stats struct {
 	// Rotations counts segment rotations (capacity- and
 	// checkpoint-triggered).
 	Rotations uint64
+	// DurableBytes is the durable watermark: sealed bytes plus the
+	// fsync-covered prefix of the active segment. Everything below it
+	// survives power loss and is what TailSince ships under SyncAlways
+	// — the follower lag observable is Bytes - DurableBytes.
+	DurableBytes int64
 }
 
 // Open opens (creating if absent) the shard's segmented log in the
@@ -556,10 +561,12 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	segments := len(l.sealed) + 1
 	bytes := l.sealedBytes + l.active.size
+	durable := l.sealedBytes + l.active.acked
 	l.mu.Unlock()
 	return Stats{
 		Segments:       segments,
 		Bytes:          bytes,
+		DurableBytes:   durable,
 		GroupCommits:   l.groupCommits.Load(),
 		GroupedRecords: l.groupedRecords.Load(),
 		Rotations:      l.rotations.Load(),

@@ -24,20 +24,20 @@ import (
 // Report is the wire form of smartstore.QueryReport: the virtual-time
 // accounting of one operation.
 type Report struct {
-	LatencySec        float64 `json:"latency_sec"`
-	Messages          int64   `json:"messages"`
-	Hops              int     `json:"hops"`
-	UnitsSearched     int     `json:"units_searched"`
-	VersionChecked    int     `json:"version_checked,omitempty"`
-	VersionLatencySec float64 `json:"version_latency_sec,omitempty"`
+	LatencySec        float64 `json:"latency_sec"`                   // simulated latency, seconds
+	Messages          int64   `json:"messages"`                      // simulated network messages
+	Hops              int     `json:"hops"`                          // semantic R-tree routing hops
+	UnitsSearched     int     `json:"units_searched"`                // storage units probed
+	VersionChecked    int     `json:"version_checked,omitempty"`     // §4.4 version chains consulted
+	VersionLatencySec float64 `json:"version_latency_sec,omitempty"` // latency share of version checks
 }
 
 // FileRecord is one file's metadata on the wire. A zero ID on insert
 // asks the server to allocate one; the response echoes the assignment.
 type FileRecord struct {
-	ID    uint64             `json:"id,omitempty"`
-	Path  string             `json:"path"`
-	Attrs map[string]float64 `json:"attrs"`
+	ID    uint64             `json:"id,omitempty"` // unique file id; 0 on insert = allocate
+	Path  string             `json:"path"`         // full path, the point-query key
+	Attrs map[string]float64 `json:"attrs"`        // attribute short name → raw value
 }
 
 // RecordFromFile converts a stored file to its wire form.
@@ -95,13 +95,13 @@ func AttrNames(attrs []metadata.Attr) []string {
 // ("point", "range", "topk") plus that kind's dimensions plus per-query
 // options. Unused fields are omitted.
 type WireQuery struct {
-	Kind  string    `json:"kind,omitempty"`
-	Path  string    `json:"path,omitempty"`
-	Attrs []string  `json:"attrs,omitempty"`
-	Lo    []float64 `json:"lo,omitempty"`
-	Hi    []float64 `json:"hi,omitempty"`
-	Point []float64 `json:"point,omitempty"`
-	K     int       `json:"k,omitempty"`
+	Kind  string    `json:"kind,omitempty"`  // "point", "range" or "topk"
+	Path  string    `json:"path,omitempty"`  // point: the filename key
+	Attrs []string  `json:"attrs,omitempty"` // range/topk: attribute dimension names
+	Lo    []float64 `json:"lo,omitempty"`    // range: per-dimension lower bounds
+	Hi    []float64 `json:"hi,omitempty"`    // range: per-dimension upper bounds
+	Point []float64 `json:"point,omitempty"` // topk: the anchor point
+	K     int       `json:"k,omitempty"`     // topk: neighbours wanted
 
 	// Mode optionally overrides the store's query path for this query:
 	// "offline" or "online" (empty = store default).
@@ -185,6 +185,7 @@ func QueryToWire(q smartstore.Query) WireQuery {
 // admission ticket.
 type QueryRequest struct {
 	WireQuery
+	// Queries, when non-empty, makes the request a batch.
 	Queries []WireQuery `json:"queries,omitempty"`
 }
 
@@ -192,6 +193,7 @@ type QueryRequest struct {
 // query, in request order. A query that failed after admission carries
 // its message in Error with zeroed results.
 type BatchQueryResponse struct {
+	// Results holds one answer per request query, in request order.
 	Results []QueryResponse `json:"results"`
 }
 
@@ -203,26 +205,29 @@ type BatchQueryResponse struct {
 // that a limit cut the answer; Error is set only on batch items that
 // failed after admission.
 type QueryResponse struct {
-	Kind      string   `json:"kind,omitempty"`
-	IDs       []uint64 `json:"ids"`
-	Count     int      `json:"count"`
-	Truncated bool     `json:"truncated,omitempty"`
-	Cached    bool     `json:"cached"`
+	Kind      string   `json:"kind,omitempty"`      // echo of the query kind
+	IDs       []uint64 `json:"ids"`                 // answer ids (top-k: ascending distance)
+	Count     int      `json:"count"`               // len(IDs) before any Limit cut
+	Truncated bool     `json:"truncated,omitempty"` // a limit cut the answer
+	Cached    bool     `json:"cached"`              // served from the query cache
 	// Dists carries, aligned with IDs, each top-k candidate's true
 	// normalized squared distance when the query asked for
 	// include_dists.
-	Dists   []float64    `json:"dists,omitempty"`
+	Dists []float64 `json:"dists,omitempty"`
+	// Records inlines full file records when the query asked for them.
 	Records []FileRecord `json:"records,omitempty"`
 	// Partial flags an answer computed without every relevant backend —
 	// a gateway degraded by a down member answers with what the healthy
 	// backends hold instead of failing, and marks the gap here. A
 	// single-store server never sets it.
-	Partial bool   `json:"partial,omitempty"`
-	Report  Report `json:"report"`
+	Partial bool `json:"partial,omitempty"`
+	// Report carries the virtual-time accounting of the execution.
+	Report Report `json:"report"`
 	// Trace is the per-phase timing breakdown, present only when the
 	// request carried the X-Smartstore-Trace header.
 	Trace *TraceWire `json:"trace,omitempty"`
-	Error string     `json:"error,omitempty"`
+	// Error is set only on batch items that failed after admission.
+	Error string `json:"error,omitempty"`
 }
 
 // TraceWire is the inline wire form of a request trace: real wall
@@ -232,9 +237,11 @@ type QueryResponse struct {
 type TraceWire struct {
 	// TotalMs is the request's total wall time, admission wait through
 	// response encode.
-	TotalMs float64     `json:"total_ms"`
-	Phases  []PhaseWire `json:"phases"`
-	Shards  []ShardWire `json:"shards,omitempty"`
+	TotalMs float64 `json:"total_ms"`
+	// Phases lists the serving phases in order with their wall times.
+	Phases []PhaseWire `json:"phases"`
+	// Shards breaks the execute phase down per engine shard.
+	Shards []ShardWire `json:"shards,omitempty"`
 	// Backends breaks a gateway's execute phase down per backend,
 	// nesting each backend's own trace when the backend returned one.
 	Backends []BackendTraceWire `json:"backends,omitempty"`
@@ -242,8 +249,8 @@ type TraceWire struct {
 
 // BackendTraceWire is one backend's share of a gateway fan-out.
 type BackendTraceWire struct {
-	Backend string  `json:"backend"`
-	Ms      float64 `json:"ms"`
+	Backend string  `json:"backend"` // the backend's configured name
+	Ms      float64 `json:"ms"`      // wall time of this backend's call
 	// Down marks a backend that was skipped (marked unhealthy) or
 	// failed mid-query.
 	Down bool `json:"down,omitempty"`
@@ -254,21 +261,21 @@ type BackendTraceWire struct {
 
 // PhaseWire is one named serving phase.
 type PhaseWire struct {
-	Name string  `json:"name"`
-	Ms   float64 `json:"ms"`
+	Name string  `json:"name"` // phase name (admission_wait, decode, ...)
+	Ms   float64 `json:"ms"`   // phase wall time
 }
 
 // ShardWire is one shard's share of the execute phase. A pruned shard
 // was rejected by its root MBR/Bloom filter without executing.
 type ShardWire struct {
-	Shard  int     `json:"shard"`
-	Ms     float64 `json:"ms"`
-	Pruned bool    `json:"pruned,omitempty"`
+	Shard  int     `json:"shard"`            // shard index
+	Ms     float64 `json:"ms"`               // shard execution wall time
+	Pruned bool    `json:"pruned,omitempty"` // rejected by root MBR/Bloom, not executed
 }
 
 // ErrorResponse is the body of every non-2xx reply. Errors are always
 // JSON, in both codecs — a client inspects the status code before it
 // picks a decoder.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error string `json:"error"` // human-readable failure message
 }

@@ -1,0 +1,99 @@
+package smartstore
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// Replication facade: the leader-side read path (ReplTail — ship a
+// shard's log past an epoch watermark) and the follower-side apply
+// path (LoadReplica — bootstrap from a leader snapshot preserving its
+// epochs; ApplyReplicated — fold shipped records in). The protocol and
+// its invariants are documented in DESIGN.md §11; the wire framing
+// lives in internal/wal (TailResponse and its codec).
+
+// LoadReplica restores a store from a leader snapshot for use as a
+// replication follower. It differs from Load in one way that matters:
+// the snapshot's per-shard epochs are adopted (Load restarts them at
+// zero), so the follower resumes the leader's epoch trajectory and its
+// first tail pull — "records with epoch past the snapshot's" — lines
+// up exactly with what the leader's log still holds.
+//
+// With cfg.DataDir set the follower becomes durable itself: the dir is
+// freshly initialized with an initial checkpoint carrying the adopted
+// epochs, so a follower restart recovers locally and re-joins the pull
+// from where it left off instead of re-fetching the full snapshot.
+func LoadReplica(r io.Reader, cfg Config) (*Store, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := restoreFromSnapshot(snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.SetShardEpochs(snap.ShardEpochs()); err != nil {
+		return nil, fmt.Errorf("smartstore: %w", err)
+	}
+	if cfg.DataDir != "" {
+		if err := s.initDataDir(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReplTail serves one pull of shard's log for a follower: every record
+// with epoch past after, up to roughly maxBytes encoded (0 selects the
+// WAL's default ship budget). The response's Base is the shard's
+// replication base — the epoch of the latest durable checkpoint — and
+// when after predates it the response carries SnapshotRequired instead
+// of records: a checkpoint has truncated the segments that covered the
+// follower's watermark, so the follower must re-bootstrap from a fresh
+// snapshot (Save + LoadReplica) and resume pulling from its epochs.
+//
+// The base is read *after* the log scan: a checkpoint landing between
+// the two can only raise the base, so a stale-watermark pull racing a
+// checkpoint reports SnapshotRequired rather than silently returning a
+// gapped tail.
+func (s *Store) ReplTail(shard int, after uint64, maxBytes int64) (*wal.TailResponse, error) {
+	if s.logs == nil {
+		return nil, fmt.Errorf("smartstore: replication needs a durable store (Config.DataDir)")
+	}
+	if shard < 0 || shard >= len(s.logs) {
+		return nil, fmt.Errorf("smartstore: shard %d of %d", shard, len(s.logs))
+	}
+	resp := &wal.TailResponse{Shard: shard, After: after}
+	recs, caughtUp, err := s.logs[shard].TailSince(after, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	resp.Base = s.eng.ReplBase()[shard]
+	if after < resp.Base {
+		resp.SnapshotRequired = true
+		resp.Records = nil
+		resp.CaughtUp = false
+		return resp, nil
+	}
+	resp.Records = recs
+	resp.CaughtUp = caughtUp
+	return resp, nil
+}
+
+// ApplyReplicated folds shipped leader records into one shard, logging
+// each to the follower's own WAL before applying (when the follower is
+// durable) and adopting the leader's epoch stamps. Records at or below
+// the shard's epoch are skipped, making re-shipped prefixes harmless.
+// The caller is responsible for withholding multi-shard batch
+// fragments until every target's fragment has arrived (internal/repl
+// does); see engine.ApplyReplicated.
+func (s *Store) ApplyReplicated(shard int, recs []wal.Record) (int, error) {
+	n, err := s.eng.ApplyReplicated(shard, recs)
+	if n > 0 {
+		s.noteMutation()
+	}
+	return n, err
+}
